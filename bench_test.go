@@ -1,0 +1,199 @@
+// Benchmarks that regenerate the paper's evaluation: one benchmark per
+// table and figure (DESIGN.md §3 maps each to its experiment). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints its reproduced table once and reports headline
+// metrics (speedups, reductions) via b.ReportMetric, so bench output is a
+// paper-vs-measured record. Results are memoised within the shared harness:
+// figures that reuse design points (14/16/17/18) pay for them once.
+package skybyte_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"skybyte"
+	"skybyte/internal/experiments"
+	"skybyte/internal/stats"
+	"skybyte/internal/system"
+)
+
+var (
+	harnessOnce sync.Once
+	harness     *experiments.Harness
+	printed     = map[string]bool{}
+	printedMu   sync.Mutex
+)
+
+func bench(b *testing.B, f func(h *experiments.Harness) experiments.Table) experiments.Table {
+	b.Helper()
+	harnessOnce.Do(func() { harness = experiments.NewHarness(experiments.DefaultOptions()) })
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = f(harness)
+	}
+	printedMu.Lock()
+	if !printed[tab.ID] {
+		printed[tab.ID] = true
+		fmt.Fprintln(os.Stdout, tab.String())
+	}
+	printedMu.Unlock()
+	return tab
+}
+
+func BenchmarkTable1WorkloadCharacteristics(b *testing.B) {
+	bench(b, (*experiments.Harness).Table1)
+}
+
+func BenchmarkFig02ExecTimeDRAMvsCXLSSD(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig02)
+}
+
+func BenchmarkFig03LatencyCDF(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig03)
+}
+
+func BenchmarkFig04Boundedness(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig04)
+}
+
+func BenchmarkFig05ReadLocalityCDF(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig05)
+}
+
+func BenchmarkFig06WriteLocalityCDF(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig06)
+}
+
+func BenchmarkFig09ThresholdSweep(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig09)
+}
+
+func BenchmarkFig10SchedulingPolicies(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig10)
+}
+
+func BenchmarkFig14OverallSpeedup(b *testing.B) {
+	tab := bench(b, (*experiments.Harness).Fig14)
+	// The last row is the geometric mean; the SkyByte-Full column carries
+	// the headline normalized execution time (paper: 1/6.11 ≈ 0.164).
+	if n := len(tab.Rows); n > 0 {
+		geo := tab.Rows[n-1]
+		for i, hd := range tab.Header {
+			if hd == string(system.SkyByteFull) && i < len(geo) {
+				var norm float64
+				fmt.Sscanf(geo[i], "%f", &norm)
+				if norm > 0 {
+					b.ReportMetric(1/norm, "x-speedup-full")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig15ThreadScaling(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig15)
+}
+
+func BenchmarkFig16RequestBreakdown(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig16)
+}
+
+func BenchmarkFig17AMAT(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig17)
+}
+
+func BenchmarkFig18FlashWriteTraffic(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig18)
+}
+
+func BenchmarkFig19WriteLogSizePerf(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig19)
+}
+
+func BenchmarkFig20WriteLogSizeTraffic(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig20)
+}
+
+func BenchmarkFig21CacheSizeSweep(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig21)
+}
+
+func BenchmarkFig22FlashLatency(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig22)
+}
+
+func BenchmarkFig23MigrationMechanisms(b *testing.B) {
+	bench(b, (*experiments.Harness).Fig23)
+}
+
+func BenchmarkTable3FlashReadLatency(b *testing.B) {
+	bench(b, (*experiments.Harness).Table3)
+}
+
+func BenchmarkCostEffectiveness(b *testing.B) {
+	bench(b, (*experiments.Harness).CostEffectiveness)
+}
+
+func BenchmarkWriteLogIndexFootprint(b *testing.B) {
+	bench(b, (*experiments.Harness).WriteLogStats)
+}
+
+// BenchmarkAblationFreeMSHROnSquash measures the §III-A default (freeing
+// MSHRs of squashed requests immediately) against holding them until data
+// arrives.
+func BenchmarkAblationFreeMSHROnSquash(b *testing.B) {
+	w, err := skybyte.WorkloadByName("bfs-dense")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		cfgOn := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+		rOn := skybyte.Run(cfgOn, w, 24, 8000, 1)
+		cfgOff := cfgOn
+		cfgOff.CPU.FreeMSHROnSquash = false
+		rOff := skybyte.Run(cfgOff, w, 24, 8000, 1)
+		on, off = rOn.ExecTime.Seconds(), rOff.ExecTime.Seconds()
+	}
+	b.ReportMetric(off/on, "x-slowdown-holding-MSHRs")
+}
+
+// BenchmarkAblationPrefetch measures Base-CSSD's next-page prefetch.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	w, err := skybyte.WorkloadByName("radix")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		cfgOn := skybyte.ScaledConfig().WithVariant(skybyte.BaseCSSD)
+		rOn := skybyte.Run(cfgOn, w, 8, 24000, 1)
+		cfgOff := cfgOn
+		cfgOff.PrefetchNext = false
+		rOff := skybyte.Run(cfgOff, w, 8, 24000, 1)
+		on, off = rOn.ExecTime.Seconds(), rOff.ExecTime.Seconds()
+	}
+	b.ReportMetric(off/on, "x-slowdown-without-prefetch")
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed (simulated
+// instructions per wall second) — the engineering figure of merit.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := skybyte.WorkloadByName("ycsb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+	var instr uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := skybyte.Run(cfg, w, 24, 8000, uint64(i+1))
+		instr += r.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+	_ = stats.GeoMean
+}

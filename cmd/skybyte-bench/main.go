@@ -1,0 +1,101 @@
+// skybyte-bench regenerates the paper's evaluation — every table and
+// figure — the counterpart of the artifact's artifact_run.sh +
+// artifact_draw_figs.sh pipeline.
+//
+// Examples:
+//
+//	skybyte-bench                      # everything, default budget
+//	skybyte-bench -figure fig14        # just the headline comparison
+//	skybyte-bench -workloads bc,ycsb -instr 200000
+//	skybyte-bench -config              # print the Table II configurations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"skybyte"
+	"skybyte/internal/experiments"
+	"skybyte/internal/stats"
+	"skybyte/internal/system"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "all", "experiment to run: all, table1, fig02..fig23, table3, cost, writelog")
+		workloads = flag.String("workloads", "", "comma-separated benchmark subset (default: all of Table I)")
+		instr     = flag.Uint64("instr", 0, "total instructions per run (default 384000)")
+		verbose   = flag.Bool("v", false, "log each simulation as it completes")
+		showCfg   = flag.Bool("config", false, "print the Table II configurations and exit")
+	)
+	flag.Parse()
+
+	if *showCfg {
+		printConfigs()
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	if *instr > 0 {
+		opt.TotalInstr = *instr
+		opt.SweepInstr = *instr / 2
+	}
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	h := experiments.NewHarness(opt)
+	if *verbose {
+		h.Verbose = func(key string, r *system.Result) {
+			fmt.Fprintf(os.Stderr, "  ran %-60s exec=%v\n", key, r.ExecTime)
+		}
+	}
+
+	run := map[string]func() experiments.Table{
+		"table1": h.Table1, "fig02": h.Fig02, "fig03": h.Fig03, "fig04": h.Fig04,
+		"fig05": h.Fig05, "fig06": h.Fig06, "fig09": h.Fig09, "fig10": h.Fig10,
+		"fig14": h.Fig14, "fig15": h.Fig15, "fig16": h.Fig16, "fig17": h.Fig17,
+		"fig18": h.Fig18, "fig19": h.Fig19, "fig20": h.Fig20, "fig21": h.Fig21,
+		"fig22": h.Fig22, "fig23": h.Fig23, "table3": h.Table3,
+		"cost": h.CostEffectiveness, "writelog": h.WriteLogStats,
+	}
+
+	start := time.Now()
+	if *figure == "all" {
+		h.WriteAll(os.Stdout)
+	} else {
+		f, ok := run[*figure]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; one of: all table1 fig02 fig03 fig04 fig05 fig06 fig09 fig10 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 table3 cost writelog\n", *figure)
+			os.Exit(2)
+		}
+		fmt.Println(f().String())
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func printConfigs() {
+	for _, c := range []struct {
+		name string
+		cfg  skybyte.Config
+	}{{"ScaledConfig (1/64, used by benches)", skybyte.ScaledConfig()}, {"PaperConfig (Table II verbatim)", skybyte.PaperConfig()}} {
+		cfg := c.cfg
+		fmt.Printf("%s:\n", c.name)
+		fmt.Printf("  CPU        %d cores, %d-entry ROB, %d MSHRs; L1 %s/%dw L2 %s/%dw LLC %s/%dw\n",
+			cfg.Cores, cfg.CPU.ROB, cfg.CPU.MLP,
+			stats.FormatGB(uint64(cfg.L1Bytes)), cfg.L1Ways,
+			stats.FormatGB(uint64(cfg.L2Bytes)), cfg.L2Ways,
+			stats.FormatGB(uint64(cfg.LLCBytes)), cfg.LLCWays)
+		fmt.Printf("  flash      %s (%d ch x %d chips x %d dies x %d blk x %d pg), tR=%v tProg=%v tBERS=%v\n",
+			stats.FormatGB(cfg.Geometry.Bytes()), cfg.Geometry.Channels, cfg.Geometry.ChipsPerChan,
+			cfg.Geometry.DiesPerChip, cfg.Geometry.BlocksPerPlane, cfg.Geometry.PagesPerBlock,
+			cfg.Timing.Read, cfg.Timing.Program, cfg.Timing.Erase)
+		fmt.Printf("  SSD DRAM   %s total (write log %s); host promotion budget %s\n",
+			stats.FormatGB(uint64(cfg.SSDDRAMBytes)), stats.FormatGB(uint64(cfg.WriteLogBytes)),
+			stats.FormatGB(uint64(cfg.PromotedMaxBytes)))
+		fmt.Printf("  OS         policy %s, switch cost %v, trigger threshold %v\n\n",
+			cfg.Policy, cfg.CtxSwitchCost, cfg.HintThreshold)
+	}
+}

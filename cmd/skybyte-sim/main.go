@@ -1,0 +1,99 @@
+// skybyte-sim runs a single simulation — the equivalent of the artifact's
+// ./macsim invocation: one workload, one design variant, with the paper's
+// configuration knobs exposed as flags.
+//
+// Example:
+//
+//	skybyte-sim -workload ycsb -variant SkyByte-Full -threads 24 -instr 16000
+//	skybyte-sim -workload srad -variant Base-CSSD -cs-threshold 10us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"skybyte"
+	"skybyte/internal/osched"
+	"skybyte/internal/sim"
+	"skybyte/internal/stats"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "ycsb", "benchmark: bc, bfs-dense, dlrm, radix, srad, tpcc, ycsb")
+		variant   = flag.String("variant", "SkyByte-Full", "design variant (Base-CSSD, SkyByte-{C,P,W,CP,WP,Full,CT,WCT}, AstriFlash-CXL, DRAM-Only)")
+		threads   = flag.Int("threads", 0, "software threads (0 = paper default: 24 with context switch, 8 otherwise)")
+		instr     = flag.Uint64("instr", 16000, "instructions per thread")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		threshold = flag.Duration("cs-threshold", 2*time.Microsecond, "context-switch trigger threshold (artifact knob cs_threshold)")
+		policy    = flag.String("policy", "FAIRNESS", "scheduling policy: RR, RANDOM, FAIRNESS (artifact knob t_policy)")
+		cacheMB   = flag.Int("ssd-dram-mb", 0, "override total SSD DRAM size in MiB (artifact knob ssd_cache_size_byte)")
+		logKB     = flag.Int("write-log-kb", 0, "override write log size in KiB")
+		paper     = flag.Bool("paper-scale", false, "use Table II capacities verbatim instead of the 1/64 scaled machine")
+	)
+	flag.Parse()
+
+	w, err := skybyte.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := skybyte.ScaledConfig()
+	if *paper {
+		cfg = skybyte.PaperConfig()
+	}
+	cfg = cfg.WithVariant(skybyte.Variant(*variant))
+	cfg.HintThreshold = sim.Time(threshold.Nanoseconds()) * sim.Nanosecond
+	cfg.Policy = osched.PolicyKind(*policy)
+	if *cacheMB > 0 {
+		cfg.SSDDRAMBytes = *cacheMB << 20
+	}
+	if *logKB > 0 {
+		cfg.WriteLogBytes = *logKB << 10
+	}
+	n := *threads
+	if n == 0 {
+		n = 8
+		if cfg.CtxSwitchEnabled {
+			n = 24
+		}
+	}
+
+	start := time.Now()
+	res := skybyte.Run(cfg, w, n, *instr, *seed)
+	wall := time.Since(start)
+
+	fmt.Printf("workload        %s (%s footprint, paper MPKI %.1f)\n", w.Name, stats.FormatGB(w.FootprintBytes()), w.PaperMPKI)
+	fmt.Printf("variant         %s, %d threads on %d cores\n", res.Variant, n, cfg.Cores)
+	fmt.Printf("exec time       %v   (%.1fM instr, %.0f MIPS simulated; wall %v)\n",
+		res.ExecTime, float64(res.Instructions)/1e6, res.IPS()/1e6, wall.Round(time.Millisecond))
+	fmt.Printf("boundedness     compute %.1f%%  memory %.1f%%  ctx-switch %.1f%%\n",
+		100*res.Bound.ComputeFrac(), 100*res.Bound.MemFrac(), 100*res.Bound.CtxFrac())
+	fmt.Printf("AMAT            %v (host %v | protocol %v | index %v | ssdDRAM %v | flash %v)\n",
+		res.AMAT.Mean(),
+		res.AMAT.MeanOf(stats.AMATHostDRAM), res.AMAT.MeanOf(stats.AMATCXLProtocol),
+		res.AMAT.MeanOf(stats.AMATIndexing), res.AMAT.MeanOf(stats.AMATSSDDRAM), res.AMAT.MeanOf(stats.AMATFlash))
+	fmt.Printf("read latency    p50 %v  p99 %v  max %v\n",
+		res.ReadLat.Percentile(50), res.ReadLat.Percentile(99), res.ReadLat.Max())
+	fmt.Printf("requests        H-R/W %.1f%%  S-R-H %.1f%%  S-R-M %.1f%%  S-W %.1f%%\n",
+		100*res.Breakdown.Frac(stats.HostRW), 100*res.Breakdown.Frac(stats.SSDReadHit),
+		100*res.Breakdown.Frac(stats.SSDReadMiss), 100*res.Breakdown.Frac(stats.SSDWrite))
+	fmt.Printf("flash           reads %d  programs %d (user %d, compact %d, GC %d, demote %d)  erases %d\n",
+		res.Traffic.TotalReads(), res.Traffic.TotalPrograms(), res.Traffic.HostPrograms,
+		res.Traffic.CompactWrites, res.Traffic.GCPrograms, res.Traffic.DemoteWrites, res.Traffic.Erases)
+	fmt.Printf("MPKI            %.1f   LLC misses %d\n", res.MPKI, res.LLCMisses)
+	if res.HintsSent > 0 {
+		fmt.Printf("SkyByte-Delay   hints %d  switches %d (hint-triggered %d)\n", res.HintsSent, res.CtxSwitches, res.HintSwitches)
+	}
+	if res.Compaction.Count > 0 {
+		fmt.Printf("compaction      %d runs, mean %v, %d pages; peak log index %s\n",
+			res.Compaction.Count, res.Compaction.Mean(), res.Compaction.Pages, stats.FormatGB(uint64(res.LogIndexPeak)))
+	}
+	if res.Migration.Promotions > 0 {
+		fmt.Printf("migration       %d promotions, %d demotions\n", res.Migration.Promotions, res.Migration.Demotions)
+	}
+	fmt.Printf("SSD bandwidth   %.2f GB/s over CXL; flash die utilization %.1f%%\n",
+		res.SSDBandwidthBps/1e9, 100*res.FlashUtilization)
+}

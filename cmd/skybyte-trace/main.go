@@ -1,0 +1,99 @@
+// skybyte-trace inspects the synthetic workload generators that stand in
+// for the paper's PIN traces: it prints a sample of records and summarises
+// the stream's characteristics against Table I.
+//
+// Example:
+//
+//	skybyte-trace -workload bc -n 200000
+//	skybyte-trace -workload radix -dump 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skybyte"
+	"skybyte/internal/mem"
+	"skybyte/internal/stats"
+	"skybyte/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "ycsb", "benchmark name")
+		n        = flag.Int("n", 100000, "records to analyse")
+		dump     = flag.Int("dump", 0, "records to print verbatim")
+		thread   = flag.Int("thread", 0, "thread id")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	w, err := skybyte.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	st := w.Stream(*thread, *seed)
+
+	var (
+		kinds     = map[trace.Kind]uint64{}
+		instrs    uint64
+		pages     = map[uint64]bool{}
+		pageLines = map[uint64]uint64{} // page -> line bitmask
+		dumped    int
+	)
+	for i := 0; i < *n; i++ {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		if dumped < *dump {
+			fmt.Printf("%6d  %-8s", i, r.Kind)
+			if r.Kind == trace.Compute {
+				fmt.Printf("  n=%d\n", r.N)
+			} else {
+				fmt.Printf("  %#x (page %d, line %d)\n", uint64(r.Addr), r.Addr.PageNumber(), r.Addr.LineIndex())
+			}
+			dumped++
+		}
+		kinds[r.Kind]++
+		instrs += r.Instructions()
+		if r.Kind != trace.Compute {
+			p := r.Addr.PageNumber()
+			pages[p] = true
+			pageLines[p] |= 1 << r.Addr.LineIndex()
+		}
+	}
+
+	memOps := kinds[trace.Load] + kinds[trace.LoadDep] + kinds[trace.Store]
+	fmt.Printf("\nworkload %s (%s, paper footprint %.2fGB, paper MPKI %.1f)\n",
+		w.Name, w.Suite, w.PaperFootprintGB, w.PaperMPKI)
+	fmt.Printf("instructions     %d (%d records)\n", instrs, *n)
+	fmt.Printf("memory ops       %d (%.1f per 100 instr)\n", memOps, 100*float64(memOps)/float64(instrs))
+	totalLoads := kinds[trace.Load] + kinds[trace.LoadDep]
+	depFrac := 0.0
+	if totalLoads > 0 {
+		depFrac = float64(kinds[trace.LoadDep]) / float64(totalLoads)
+	}
+	fmt.Printf("  loads          %d (%.1f%% dependent/pointer-chasing)\n", totalLoads, 100*depFrac)
+	fmt.Printf("  stores         %d (write ratio %.1f%%, Table I: %.0f%%)\n",
+		kinds[trace.Store], 100*float64(kinds[trace.Store])/float64(memOps), 100*w.WriteRatio)
+	fmt.Printf("pages touched    %d of %d footprint (%s)\n", len(pages), w.FootprintPages, stats.FormatGB(w.FootprintBytes()))
+
+	// Spatial sparsity: the Fig. 5/6 style line-usage distribution.
+	var dist stats.Distribution
+	for _, mask := range pageLines {
+		dist.Add(float64(popcount(mask)) / float64(mem.LinesPerPage))
+	}
+	fmt.Printf("line usage/page  mean %.1f%% of 64 lines; %.0f%% of pages use <=25%% of lines\n",
+		100*dist.Mean(), 100*dist.FractionAtOrBelow(0.25))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+// Quickstart: run one workload on the baseline CXL-SSD and on SkyByte-Full
+// and compare — the 30-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skybyte"
+)
+
+func main() {
+	workload, err := skybyte.WorkloadByName("ycsb")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The scaled machine: 1/64 of the paper's Table II capacities with
+	// identical ratios (2 GB flash, 8 MB SSD DRAM, 8 cores).
+	base := skybyte.ScaledConfig()
+
+	// Baseline: a state-of-the-art CXL-SSD (page-granular RMW cache with
+	// prefetching), 8 threads on 8 cores — stalling on every flash miss.
+	baseline := skybyte.Run(base.WithVariant(skybyte.BaseCSSD), workload, 8, 24_000, 1)
+
+	// SkyByte-Full: write log + adaptive migration + coordinated context
+	// switch, 24 threads on the same 8 cores (the paper's §VI-A setup).
+	full := skybyte.Run(base.WithVariant(skybyte.SkyByteFull), workload, 24, 8_000, 1)
+
+	fmt.Printf("workload: %s (%d pages footprint)\n\n", workload.Name, workload.FootprintPages)
+	fmt.Printf("%-14s exec %-10v AMAT %-9v memory-bound %4.1f%%\n",
+		"Base-CSSD:", baseline.ExecTime, baseline.AMAT.Mean(), 100*baseline.Bound.MemFrac())
+	fmt.Printf("%-14s exec %-10v AMAT %-9v memory-bound %4.1f%%  (%d hint-triggered switches)\n",
+		"SkyByte-Full:", full.ExecTime, full.AMAT.Mean(), 100*full.Bound.MemFrac(), full.HintSwitches)
+	fmt.Printf("\nspeedup: %.2fx (same total work)\n", full.Speedup(baseline))
+}

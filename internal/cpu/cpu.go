@@ -1,0 +1,581 @@
+// Package cpu implements the multi-core timing model: trace-driven cores
+// with a ROB-window interval model (Sniper-style), MSHR-bounded memory-level
+// parallelism, writeback credits for device write backpressure, and the
+// SkyByte Long Delay Exception machinery of §III-A — squash, precise rewind
+// to the faulting load, and a coordinated context switch through the OS
+// scheduler.
+//
+// The model reproduces the phenomena the paper measures (memory
+// boundedness, the impracticality of hiding µs-scale flash latency with
+// ROB-scale lookahead, exception delivery at the retire stage) without
+// simulating individual pipeline stages; see DESIGN.md §1 and §4.
+package cpu
+
+import (
+	"skybyte/internal/cachesim"
+	"skybyte/internal/mem"
+	"skybyte/internal/osched"
+	"skybyte/internal/sim"
+	"skybyte/internal/stats"
+	"skybyte/internal/trace"
+)
+
+// ReadReq is a demand cacheline read issued to the memory backend.
+type ReadReq struct {
+	Addr   mem.Addr
+	CoreID int
+	// Record is true when the access is past the thread's warmup and
+	// should contribute to latency/AMAT statistics.
+	Record bool
+	// Squashed is set by the core when the issuing instruction was
+	// squashed by a context switch; the backend may skip the response.
+	Squashed bool
+	// OnData fires when the data response (MemData) arrives at the core.
+	OnData func()
+	// OnHint fires when a SkyByte-Delay NDR arrives instead of data; no
+	// data response will follow.
+	OnHint func()
+}
+
+// Backend is the off-chip memory system as seen by a core: host DRAM, the
+// CXL link, and the SSD controller behind it.
+type Backend interface {
+	// Read issues a demand read; exactly one of req.OnData / req.OnHint
+	// will eventually fire (unless the request is squashed first).
+	Read(req *ReadReq)
+	// Write issues a cacheline writeback; accepted fires when the device
+	// has absorbed it, returning the writeback credit.
+	Write(a mem.Addr, coreID int, record bool, accepted func())
+}
+
+// Config parameterises a core (Table II values as defaults via
+// DefaultConfig).
+type Config struct {
+	CyclePs     sim.Time // 250 ps = 4 GHz
+	IssueIPC    float64  // sustained non-memory IPC
+	ROB         int      // 256 entries
+	MLP         int      // max outstanding LLC misses (L1 MSHRs)
+	L2HitExtra  sim.Time // effective exposed latency of an L2 hit
+	LLCHitExtra sim.Time // effective exposed latency of an LLC hit
+	WBCredits   int      // outstanding writeback budget per core
+
+	// FlushL1OnSwitch models switch-induced cache pollution.
+	FlushL1OnSwitch bool
+	// FreeMSHROnSquash releases MSHRs of squashed requests immediately
+	// (the paper's default; §III-A). Disabling it is an ablation.
+	FreeMSHROnSquash bool
+
+	// BatchRecords bounds how many trace records one step event processes.
+	BatchRecords int
+}
+
+// DefaultConfig returns Table II's core parameters.
+func DefaultConfig() Config {
+	return Config{
+		CyclePs:          250 * sim.Picosecond,
+		IssueIPC:         4,
+		ROB:              256,
+		MLP:              8,
+		L2HitExtra:       3 * sim.Nanosecond,
+		LLCHitExtra:      10 * sim.Nanosecond,
+		WBCredits:        64,
+		FreeMSHROnSquash: true,
+		BatchRecords:     256,
+	}
+}
+
+// Stats aggregates per-core measurements.
+type Stats struct {
+	Bound          stats.Boundedness
+	ExecutedInstrs uint64 // includes re-executed instructions
+	Loads          uint64
+	Stores         uint64
+	L1Hits         uint64
+	L2Hits         uint64
+	LLCHits        uint64
+	LLCMisses      uint64 // demand misses (loads and stores)
+	Switches       uint64 // context switches triggered on this core
+	HintSwitches   uint64 // switches caused by SkyByte-Delay (vs thread exit)
+	Writebacks     uint64
+	FinishedAt     sim.Time
+}
+
+type coreState uint8
+
+const (
+	stRunning coreState = iota
+	stWaitMem
+	stWaitCredit
+	stIdle
+)
+
+type missEntry struct {
+	instrIdx   uint64
+	addr       mem.Addr
+	done       bool
+	hinted     bool
+	squashed   bool
+	completion sim.Time
+	req        *ReadReq
+}
+
+// Core is one simulated CPU core.
+type Core struct {
+	ID  int
+	eng *sim.Engine
+	cfg Config
+
+	l1, l2  *cachesim.Cache
+	llc     *cachesim.Cache // shared
+	backend Backend
+	sched   *osched.Scheduler
+
+	thread      *osched.Thread
+	threadStart sim.Time
+
+	time         sim.Time
+	fetchIdx     uint64
+	out          []*missEntry
+	zombies      []*missEntry
+	wbCredits    int
+	pendingWB    []mem.Addr
+	state        coreState
+	pendingStall sim.Time
+
+	// stash holds a dependent load that cannot issue until all
+	// outstanding misses resolve (serialised pointer chase).
+	stash      trace.Record
+	stashIdx   uint64
+	stashValid bool
+
+	perInstr sim.Time
+	Stats    Stats
+
+	// OnThreadFinished, when set, is invoked as each thread retires its
+	// final instruction (system-level completion tracking).
+	OnThreadFinished func(t *osched.Thread, at sim.Time)
+}
+
+// New builds a core. l1 and l2 are private; llc is shared among cores.
+func New(eng *sim.Engine, id int, cfg Config, l1, l2, llc *cachesim.Cache, backend Backend, sched *osched.Scheduler) *Core {
+	perInstr := sim.Time(float64(cfg.CyclePs) / cfg.IssueIPC)
+	if perInstr < 1 {
+		perInstr = 1
+	}
+	return &Core{
+		ID: id, eng: eng, cfg: cfg,
+		l1: l1, l2: l2, llc: llc,
+		backend: backend, sched: sched,
+		wbCredits: cfg.WBCredits,
+		perInstr:  perInstr,
+	}
+}
+
+// Now returns the core-local clock (>= engine time).
+func (c *Core) Now() sim.Time { return c.time }
+
+// Start begins execution; the core pulls its first thread from the
+// scheduler (free initial dispatch).
+func (c *Core) Start() {
+	if c.acquireThread() {
+		c.eng.At(c.time, c.step)
+	}
+}
+
+// --- time accounting ---
+
+func (c *Core) chargeCompute(d sim.Time) { c.time += d; c.Stats.Bound.Compute += d }
+func (c *Core) chargeMem(d sim.Time)     { c.time += d; c.Stats.Bound.MemStall += d }
+func (c *Core) chargeCtx(d sim.Time)     { c.time += d; c.Stats.Bound.CtxSwitch += d }
+
+// advanceTo moves local time forward to t, booking the gap as memory stall.
+func (c *Core) advanceTo(t sim.Time) {
+	if t > c.time {
+		c.chargeMem(t - c.time)
+	}
+}
+
+// syncIdle moves local time to now without boundedness accounting (used
+// when waking from idle — no thread was running).
+func (c *Core) syncIdle() {
+	if n := c.eng.Now(); n > c.time {
+		c.time = n
+	}
+}
+
+// --- thread lifecycle ---
+
+func (c *Core) acquireThread() bool {
+	t := c.sched.Pick()
+	if t == nil {
+		c.state = stIdle
+		c.sched.WaitReady(c.onReady)
+		return false
+	}
+	c.thread = t
+	c.threadStart = c.time
+	c.fetchIdx = t.Replay.NextIdx()
+	c.state = stRunning
+	return true
+}
+
+func (c *Core) onReady() {
+	if c.state != stIdle {
+		return
+	}
+	c.syncIdle()
+	if c.acquireThread() {
+		c.step()
+	}
+}
+
+func (c *Core) accrueRuntime() {
+	if c.thread != nil {
+		c.thread.VRuntime += c.time - c.threadStart
+		c.threadStart = c.time
+	}
+}
+
+func (c *Core) finishThread() {
+	t := c.thread
+	c.accrueRuntime()
+	t.Finished = true
+	c.Stats.FinishedAt = c.time
+	if c.OnThreadFinished != nil {
+		c.OnThreadFinished(t, c.time)
+	}
+	c.thread = nil
+	// Swapping in the next thread costs a context switch.
+	if c.sched.Runnable() > 0 {
+		c.chargeCtx(c.sched.SwitchCost)
+		c.Stats.Switches++
+	}
+}
+
+// --- the main loop ---
+
+// InjectStall charges the core an asynchronous OS overhead (e.g. the TLB
+// shootdown after a page migration) the next time it makes progress. The
+// time is booked as context-switch/OS overhead.
+func (c *Core) InjectStall(d sim.Time) { c.pendingStall += d }
+
+func (c *Core) step() {
+	budget := c.cfg.BatchRecords
+	for {
+		if c.pendingStall > 0 {
+			c.chargeCtx(c.pendingStall)
+			c.pendingStall = 0
+		}
+		// Retire completed misses at the ROB head.
+		for len(c.out) > 0 && c.out[0].done {
+			c.advanceTo(c.out[0].completion)
+			c.popOldest()
+		}
+		// Writeback backpressure: drain queued writebacks as credits
+		// return; stall while any remain unsendable.
+		if len(c.pendingWB) > 0 {
+			c.drainPendingWB()
+			if len(c.pendingWB) > 0 {
+				c.state = stWaitCredit
+				return
+			}
+		}
+		// ROB / MSHR / dependence gating on the oldest incomplete miss.
+		if len(c.out) > 0 {
+			oldest := c.out[0]
+			gated := c.stashValid ||
+				c.fetchIdx-oldest.instrIdx >= uint64(c.cfg.ROB) ||
+				len(c.out)+len(c.zombies) >= c.cfg.MLP ||
+				c.thread == nil || c.thread.Replay.Done()
+			if gated {
+				if oldest.hinted {
+					// SkyByte Long Delay Exception at the retire stage.
+					c.ctxSwitch(oldest)
+					if c.thread == nil {
+						return // idle
+					}
+					continue
+				}
+				c.state = stWaitMem
+				return
+			}
+		}
+		// A stashed dependent load issues once the pipeline drained.
+		if c.stashValid {
+			c.stashValid = false
+			c.Stats.Loads++
+			c.chargeCompute(c.perInstr)
+			c.load(c.stash.Addr.Line(), c.stashIdx)
+			continue
+		}
+		if c.thread == nil {
+			if !c.acquireThread() {
+				return
+			}
+		}
+		if budget <= 0 {
+			c.eng.At(c.time, c.step)
+			return
+		}
+		budget--
+		rec, idx, ok := c.thread.Replay.Next()
+		if !ok {
+			if len(c.out) > 0 {
+				continue // drain through the gating path above
+			}
+			c.finishThread()
+			if c.thread == nil && !c.acquireThread() {
+				return
+			}
+			continue
+		}
+		c.exec(rec, idx)
+	}
+}
+
+func (c *Core) exec(rec trace.Record, idx uint64) {
+	n := rec.Instructions()
+	c.fetchIdx = idx + n
+	c.Stats.ExecutedInstrs += n
+	c.thread.Advance(c.fetchIdx)
+	switch rec.Kind {
+	case trace.Compute:
+		c.chargeCompute(sim.Time(n) * c.perInstr)
+	case trace.Load:
+		c.chargeCompute(c.perInstr)
+		c.Stats.Loads++
+		c.load(rec.Addr.Line(), idx)
+	case trace.LoadDep:
+		if len(c.out) > 0 {
+			// Cannot issue until the chain resolves; park it and gate.
+			c.stash = rec
+			c.stashIdx = idx
+			c.stashValid = true
+			return
+		}
+		c.chargeCompute(c.perInstr)
+		c.Stats.Loads++
+		c.load(rec.Addr.Line(), idx)
+	case trace.Store:
+		c.chargeCompute(c.perInstr)
+		c.Stats.Stores++
+		c.store(rec.Addr.Line())
+	}
+}
+
+// load walks the hierarchy; an LLC miss becomes an outstanding entry
+// gating retirement.
+func (c *Core) load(a mem.Addr, idx uint64) {
+	if c.l1.Access(a, false) {
+		c.Stats.L1Hits++
+		return
+	}
+	if c.l2.Access(a, false) {
+		c.Stats.L2Hits++
+		c.chargeMem(c.cfg.L2HitExtra)
+		c.installL1(a, false)
+		return
+	}
+	if c.llc.Access(a, false) {
+		c.Stats.LLCHits++
+		c.chargeMem(c.cfg.LLCHitExtra)
+		c.installL2(a, false)
+		c.installL1(a, false)
+		return
+	}
+	c.Stats.LLCMisses++
+	// MSHR merge: a younger load to an in-flight line rides along with the
+	// existing entry and does not gate retirement separately.
+	for _, e := range c.out {
+		if e.addr == a {
+			return
+		}
+	}
+	e := &missEntry{instrIdx: idx, addr: a}
+	req := &ReadReq{Addr: a, CoreID: c.ID, Record: c.thread.PastWarmup()}
+	req.OnData = func() { c.onData(e) }
+	req.OnHint = func() { c.onHint(e) }
+	e.req = req
+	c.out = append(c.out, e)
+	issueAt := c.time
+	c.eng.At(issueAt, func() { c.backend.Read(req) })
+}
+
+// store dirties the line where it hits; a full miss allocates in L1
+// without fetching (write-validate — see package comment).
+func (c *Core) store(a mem.Addr) {
+	if c.l1.Access(a, true) {
+		c.Stats.L1Hits++
+		return
+	}
+	if c.l2.Access(a, true) {
+		c.Stats.L2Hits++
+		return
+	}
+	if c.llc.Access(a, true) {
+		c.Stats.LLCHits++
+		return
+	}
+	c.Stats.LLCMisses++
+	c.installL1(a, true)
+}
+
+// --- cache fills with victim cascade ---
+
+func (c *Core) installL1(a mem.Addr, dirty bool) {
+	v := c.l1.Fill(a, dirty)
+	if v.Valid && v.Dirty {
+		c.installL2(v.Addr, true)
+	}
+}
+
+func (c *Core) installL2(a mem.Addr, dirty bool) {
+	if c.l2.Update(a, dirty) {
+		return
+	}
+	v := c.l2.Fill(a, dirty)
+	if v.Valid && v.Dirty {
+		c.installLLC(v.Addr, true)
+	}
+}
+
+func (c *Core) installLLC(a mem.Addr, dirty bool) {
+	if c.llc.Update(a, dirty) {
+		return
+	}
+	v := c.llc.Fill(a, dirty)
+	if v.Valid && v.Dirty {
+		c.issueWriteback(v.Addr)
+	}
+}
+
+// --- writebacks with credits ---
+
+func (c *Core) issueWriteback(a mem.Addr) {
+	if c.wbCredits == 0 {
+		c.pendingWB = append(c.pendingWB, a)
+		return
+	}
+	c.sendWriteback(a)
+}
+
+func (c *Core) sendWriteback(a mem.Addr) {
+	c.wbCredits--
+	c.Stats.Writebacks++
+	record := c.thread != nil && c.thread.PastWarmup()
+	issueAt := c.time
+	if n := c.eng.Now(); n > issueAt {
+		issueAt = n
+	}
+	c.eng.At(issueAt, func() {
+		c.backend.Write(a, c.ID, record, func() {
+			c.wbCredits++
+			if c.state == stWaitCredit {
+				c.state = stRunning
+				c.advanceTo(c.eng.Now())
+				c.step()
+			}
+		})
+	})
+}
+
+func (c *Core) drainPendingWB() {
+	for len(c.pendingWB) > 0 && c.wbCredits > 0 {
+		a := c.pendingWB[0]
+		copy(c.pendingWB, c.pendingWB[1:])
+		c.pendingWB = c.pendingWB[:len(c.pendingWB)-1]
+		c.sendWriteback(a)
+	}
+}
+
+// --- miss completion and hints ---
+
+func (c *Core) popOldest() {
+	copy(c.out, c.out[1:])
+	c.out = c.out[:len(c.out)-1]
+}
+
+func (c *Core) onData(e *missEntry) {
+	e.done = true
+	e.completion = c.eng.Now()
+	if e.squashed {
+		c.removeZombie(e)
+		return
+	}
+	// Fill the hierarchy at data arrival (tags only).
+	c.installLLC(e.addr, false)
+	c.installL2(e.addr, false)
+	c.installL1(e.addr, false)
+	if c.state == stWaitMem && len(c.out) > 0 && c.out[0] == e {
+		c.state = stRunning
+		c.advanceTo(c.eng.Now())
+		c.step()
+	}
+}
+
+func (c *Core) onHint(e *missEntry) {
+	e.hinted = true
+	if e.squashed {
+		return
+	}
+	if c.state == stWaitMem && len(c.out) > 0 && c.out[0] == e {
+		c.state = stRunning
+		c.advanceTo(c.eng.Now())
+		c.step()
+	}
+}
+
+func (c *Core) removeZombie(e *missEntry) {
+	for i, z := range c.zombies {
+		if z == e {
+			copy(c.zombies[i:], c.zombies[i+1:])
+			c.zombies = c.zombies[:len(c.zombies)-1]
+			return
+		}
+	}
+}
+
+// --- the coordinated context switch (§III-A C3–C4) ---
+
+func (c *Core) ctxSwitch(oldest *missEntry) {
+	c.Stats.Switches++
+	c.Stats.HintSwitches++
+	c.thread.Switches++
+	c.accrueRuntime()
+
+	// Squash all in-flight requests. With FreeMSHROnSquash (default) their
+	// MSHRs free immediately; otherwise un-hinted requests hold MSHR slots
+	// until their data arrives (the ablation of §III-A).
+	for _, e := range c.out {
+		e.squashed = true
+		e.req.Squashed = true
+		if !e.done && !e.hinted && !c.cfg.FreeMSHROnSquash {
+			c.zombies = append(c.zombies, e)
+		}
+	}
+	c.out = c.out[:0]
+
+	// Precise rewind: resume from the faulting load so it re-issues on
+	// switch-in ("when the thread is switched back, it will resume from
+	// this instruction and re-issue this memory access to the CXL-SSD").
+	// A stashed dependent load is younger than the faulting load, so the
+	// rewind re-delivers it too.
+	c.stashValid = false
+	c.thread.Replay.RewindTo(oldest.instrIdx)
+	c.fetchIdx = oldest.instrIdx
+
+	if c.cfg.FlushL1OnSwitch {
+		c.l1.FlushAll(func(v cachesim.Victim) {
+			if v.Dirty {
+				c.installL2(v.Addr, true)
+			}
+		})
+	}
+
+	c.chargeCtx(c.sched.SwitchCost)
+	c.thread = c.sched.Switch(c.thread)
+	c.threadStart = c.time
+	if c.thread != nil {
+		c.fetchIdx = c.thread.Replay.NextIdx()
+	}
+}

@@ -1,0 +1,157 @@
+// Package cxl models the CXL.mem transport between the host and the SSD:
+// message vocabulary (MemRd/MemWr requests, MemData responses, and the
+// No-Data-Response opcodes of Fig. 8 including SkyByte-Delay), plus a
+// bandwidth- and latency-accurate link model for the PCIe 5.0 x4 interface
+// of Table II (16 GB/s per direction, 40 ns protocol latency round trip).
+package cxl
+
+import "skybyte/internal/sim"
+
+// Opcode identifies a CXL.mem message type. The NDR opcodes follow Fig. 8:
+// SkyByte claims one of the reserved encodings (111b) for SkyByte-Delay.
+type Opcode uint8
+
+// Message opcodes.
+const (
+	MemRd   Opcode = iota // master-to-slave read request
+	MemWr                 // master-to-slave write (writeback) request
+	MemData               // slave-to-master data response
+	Cmp                   // NDR 000b: plain completion
+	// SkyByteDelay is the paper's new NDR opcode (encoding 111b): the
+	// request will suffer a long access delay; the host should context
+	// switch instead of waiting (§III-A C2).
+	SkyByteDelay
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case MemRd:
+		return "MemRd"
+	case MemWr:
+		return "MemWr"
+	case MemData:
+		return "MemData"
+	case Cmp:
+		return "Cmp"
+	case SkyByteDelay:
+		return "SkyByte-Delay"
+	}
+	return "?"
+}
+
+// NDREncoding returns the 3-bit opcode encoding of Fig. 8 for NDR messages.
+func NDREncoding(o Opcode) uint8 {
+	switch o {
+	case Cmp:
+		return 0b000
+	case SkyByteDelay:
+		return 0b111
+	default:
+		return 0b101 // reserved
+	}
+}
+
+// Wire sizes used for bandwidth shaping: a header-only message (requests
+// without data, NDR responses) and a data-carrying message (64 B payload
+// plus header). CXL flits are 64 B plus 2 B CRC; we round to whole bytes.
+const (
+	HeaderBytes = 16
+	DataBytes   = 64 + HeaderBytes
+)
+
+// Config sets the link parameters.
+type Config struct {
+	// LatencyEachWay is the protocol latency per direction; Table II's
+	// "40 ns protocol latency" is the round trip, so the default is 20 ns.
+	LatencyEachWay sim.Time
+	// BytesPerNs is the per-direction bandwidth (PCIe 5.0 x4 ≈ 16 GB/s =
+	// 16 B/ns).
+	BytesPerNs float64
+}
+
+// DefaultConfig mirrors Table II.
+func DefaultConfig() Config {
+	return Config{LatencyEachWay: 20 * sim.Nanosecond, BytesPerNs: 16}
+}
+
+// Stats counts link traffic.
+type Stats struct {
+	ToDeviceMsgs  uint64
+	ToDeviceBytes uint64
+	ToHostMsgs    uint64
+	ToHostBytes   uint64
+	BusyTx        sim.Time
+	BusyRx        sim.Time
+}
+
+// Link is one full-duplex CXL link.
+type Link struct {
+	eng    *sim.Engine
+	cfg    Config
+	txFree sim.Time // host→device direction
+	rxFree sim.Time // device→host direction
+	stats  Stats
+}
+
+// New builds a link.
+func New(eng *sim.Engine, cfg Config) *Link {
+	return &Link{eng: eng, cfg: cfg}
+}
+
+// Stats returns a copy of the traffic counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// serialize computes how long size bytes occupy a direction.
+func (l *Link) serialize(size int) sim.Time {
+	return sim.Time(float64(size) / l.cfg.BytesPerNs * float64(sim.Nanosecond))
+}
+
+// ToDevice delivers a message of size bytes to the device, firing done at
+// arrival time. Messages queue behind earlier traffic in this direction.
+func (l *Link) ToDevice(size int, done func()) {
+	start := sim.Max(l.eng.Now(), l.txFree)
+	ser := l.serialize(size)
+	l.txFree = start + ser
+	l.stats.BusyTx += ser
+	l.stats.ToDeviceMsgs++
+	l.stats.ToDeviceBytes += uint64(size)
+	if done != nil {
+		l.eng.At(l.txFree+l.cfg.LatencyEachWay, done)
+	}
+}
+
+// ToHost delivers a message of size bytes to the host.
+func (l *Link) ToHost(size int, done func()) {
+	start := sim.Max(l.eng.Now(), l.rxFree)
+	ser := l.serialize(size)
+	l.rxFree = start + ser
+	l.stats.BusyRx += ser
+	l.stats.ToHostMsgs++
+	l.stats.ToHostBytes += uint64(size)
+	if done != nil {
+		l.eng.At(l.rxFree+l.cfg.LatencyEachWay, done)
+	}
+}
+
+// RoundTripLatency returns the unloaded protocol round trip.
+func (l *Link) RoundTripLatency() sim.Time { return 2 * l.cfg.LatencyEachWay }
+
+// Utilization returns (tx, rx) busy fractions since t=0.
+func (l *Link) Utilization() (tx, rx float64) {
+	el := l.eng.Now()
+	if el == 0 {
+		return 0, 0
+	}
+	return float64(l.stats.BusyTx) / float64(el), float64(l.stats.BusyRx) / float64(el)
+}
+
+// DeliveredBytesPerSecond returns the achieved device-to-host goodput,
+// the "SSD bandwidth utilization" line of Fig. 15.
+func (l *Link) DeliveredBytesPerSecond() float64 {
+	el := l.eng.Now().Seconds()
+	if el == 0 {
+		return 0
+	}
+	return float64(l.stats.ToHostBytes+l.stats.ToDeviceBytes) / el
+}

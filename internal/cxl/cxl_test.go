@@ -1,0 +1,85 @@
+package cxl
+
+import (
+	"testing"
+
+	"skybyte/internal/sim"
+)
+
+func TestOpcodeNames(t *testing.T) {
+	if MemRd.String() != "MemRd" || SkyByteDelay.String() != "SkyByte-Delay" || MemData.String() != "MemData" {
+		t.Fatal("opcode names")
+	}
+}
+
+func TestNDREncoding(t *testing.T) {
+	// Fig. 8: Cmp = 000b, SkyByte-Delay claims reserved encoding 111b.
+	if NDREncoding(Cmp) != 0 {
+		t.Fatal("Cmp encoding")
+	}
+	if NDREncoding(SkyByteDelay) != 0b111 {
+		t.Fatal("SkyByte-Delay must use the reserved 111b encoding")
+	}
+}
+
+func TestUnloadedLatency(t *testing.T) {
+	var eng sim.Engine
+	l := New(&eng, DefaultConfig())
+	if l.RoundTripLatency() != 40*sim.Nanosecond {
+		t.Fatalf("round trip = %v, want 40ns (Table II)", l.RoundTripLatency())
+	}
+	var at sim.Time
+	l.ToDevice(HeaderBytes, func() { at = eng.Now() })
+	eng.Run()
+	want := l.serialize(HeaderBytes) + 20*sim.Nanosecond
+	if at != want {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	var eng sim.Engine
+	l := New(&eng, Config{LatencyEachWay: 0, BytesPerNs: 16})
+	// Two 80 B data messages serialise back to back: 5 ns each.
+	var first, second sim.Time
+	l.ToHost(DataBytes, func() { first = eng.Now() })
+	l.ToHost(DataBytes, func() { second = eng.Now() })
+	eng.Run()
+	if first != 5*sim.Nanosecond || second != 10*sim.Nanosecond {
+		t.Fatalf("completions = %v, %v; want 5ns, 10ns", first, second)
+	}
+}
+
+func TestDirectionsIndependent(t *testing.T) {
+	var eng sim.Engine
+	l := New(&eng, Config{LatencyEachWay: 0, BytesPerNs: 16})
+	var tx, rx sim.Time
+	l.ToDevice(DataBytes, func() { tx = eng.Now() })
+	l.ToHost(DataBytes, func() { rx = eng.Now() })
+	eng.Run()
+	if tx != rx {
+		t.Fatalf("full duplex broken: tx=%v rx=%v", tx, rx)
+	}
+}
+
+func TestStatsAndUtilization(t *testing.T) {
+	var eng sim.Engine
+	l := New(&eng, DefaultConfig())
+	l.ToDevice(HeaderBytes, func() {})
+	l.ToHost(DataBytes, func() {})
+	eng.Run()
+	s := l.Stats()
+	if s.ToDeviceMsgs != 1 || s.ToHostMsgs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ToDeviceBytes != HeaderBytes || s.ToHostBytes != DataBytes {
+		t.Fatalf("bytes = %+v", s)
+	}
+	tx, rx := l.Utilization()
+	if tx <= 0 || rx <= 0 || tx > 1 || rx > 1 {
+		t.Fatalf("utilization = %v, %v", tx, rx)
+	}
+	if l.DeliveredBytesPerSecond() <= 0 {
+		t.Fatal("goodput should be positive")
+	}
+}

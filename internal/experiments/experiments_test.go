@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"skybyte/internal/system"
+)
+
+// tinyOptions keeps unit-test campaigns fast: two workloads, small budget.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.TotalInstr = 96_000
+	o.SweepInstr = 48_000
+	o.Workloads = []string{"bc", "srad"}
+	return o
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig02ShowsSlowdown(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	tab := h.Fig02()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if s := parse(t, row[3]); s < 1.5 {
+			t.Errorf("%s: CXL-SSD slowdown %.2f below the paper's 1.5x floor", row[0], s)
+		}
+	}
+}
+
+func TestFig04MemoryBound(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	tab := h.Fig04()
+	for _, row := range tab.Rows {
+		cssdMem := parse(t, row[3])
+		if cssdMem < 50 {
+			t.Errorf("%s: CXL-SSD only %.1f%% memory bound; paper reports 77-99.8%%", row[0], cssdMem)
+		}
+	}
+}
+
+func TestFig14FullBeatsBase(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	tab := h.Fig14()
+	// Columns follow system.AllVariants; find Base-CSSD and SkyByte-Full.
+	baseCol, fullCol, dramCol := -1, -1, -1
+	for i, hd := range tab.Header {
+		switch hd {
+		case string(system.BaseCSSD):
+			baseCol = i
+		case string(system.SkyByteFull):
+			fullCol = i
+		case string(system.DRAMOnly):
+			dramCol = i
+		}
+	}
+	if baseCol < 0 || fullCol < 0 || dramCol < 0 {
+		t.Fatal("variant columns missing")
+	}
+	for _, row := range tab.Rows {
+		base := parse(t, row[baseCol])
+		full := parse(t, row[fullCol])
+		dram := parse(t, row[dramCol])
+		if full > base {
+			t.Errorf("%s: SkyByte-Full (%.3f) slower than Base (%.3f)", row[0], full, base)
+		}
+		if dram > full {
+			t.Errorf("%s: DRAM-Only (%.3f) slower than Full (%.3f)", row[0], dram, full)
+		}
+	}
+}
+
+func TestFig18WriteLogReduces(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	tab := h.Fig18()
+	wCol := -1
+	for i, hd := range tab.Header {
+		if hd == string(system.SkyByteW) {
+			wCol = i
+		}
+	}
+	for _, row := range tab.Rows {
+		if row[wCol] == "n/a" {
+			continue
+		}
+		if v := parse(t, row[wCol]); v > 1.0 {
+			t.Errorf("%s: SkyByte-W write traffic %.3f not reduced vs Base", row[0], v)
+		}
+	}
+}
+
+func TestFig16FractionsSumToOne(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	tab := h.Fig16()
+	for _, row := range tab.Rows {
+		sum := 0.0
+		for _, c := range row[1:] {
+			sum += parse(t, c)
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("%s: breakdown sums to %.1f%%", row[0], sum)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	tab := h.Table1()
+	if len(tab.Rows) != 2 || len(tab.Header) != 6 {
+		t.Fatalf("table1 shape %dx%d", len(tab.Rows), len(tab.Header))
+	}
+	for _, row := range tab.Rows {
+		if parse(t, row[4]) <= 0 {
+			t.Errorf("%s: measured MPKI missing", row[0])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{ID: "x", Title: "T", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	s := tab.String()
+	if !strings.Contains(s, "== x: T ==") || !strings.Contains(s, "bb") {
+		t.Fatalf("rendering broken:\n%s", s)
+	}
+}
+
+func TestHarnessMemoisation(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	runs := 0
+	h.Verbose = func(string, *system.Result) { runs++ }
+	h.Fig14()
+	afterFig14 := runs
+	h.Fig16() // shares every design point with Fig14
+	if runs != afterFig14 {
+		t.Fatalf("Fig16 re-ran %d simulations; memoisation broken", runs-afterFig14)
+	}
+}

@@ -1,0 +1,541 @@
+package experiments
+
+import (
+	"fmt"
+
+	"skybyte/internal/mem"
+	"skybyte/internal/osched"
+	"skybyte/internal/sim"
+	"skybyte/internal/stats"
+	"skybyte/internal/system"
+	"skybyte/internal/workloads"
+)
+
+// fourCore mutates a config to the motivation study's 4-thread/4-core
+// setup (§II-C: "we launch four threads on four cores").
+func fourCore(c *system.Config) { c.Cores = 4 }
+
+// motivationPair returns the DRAM and Base-CSSD runs of §II-C.
+func (h *Harness) motivationPair(spec workloads.Spec) (dramR, baseR *system.Result) {
+	dramR = h.run(spec, system.DRAMOnly, h.Opt.TotalInstr, 4, "4c", fourCore)
+	baseR = h.run(spec, system.BaseCSSD, h.Opt.TotalInstr, 4, "4c", fourCore)
+	return
+}
+
+// Fig02 reproduces Fig. 2: end-to-end execution time of DRAM vs. the
+// baseline CXL-SSD (paper: 1.5–31.4x worse).
+func (h *Harness) Fig02() Table {
+	t := Table{
+		ID:     "fig02",
+		Title:  "Execution time, DRAM vs baseline CXL-SSD (normalized to DRAM)",
+		Header: []string{"workload", "DRAM", "Base-CSSD", "slowdown"},
+		Note:   "paper reports 1.5-31.4x slowdowns",
+	}
+	for _, spec := range h.specs() {
+		d, b := h.motivationPair(spec)
+		t.Rows = append(t.Rows, []string{
+			spec.Name, "1.00", f2(float64(b.ExecTime) / float64(d.ExecTime)),
+			f2(float64(b.ExecTime) / float64(d.ExecTime)),
+		})
+	}
+	return t
+}
+
+// Fig03 reproduces Fig. 3: off-chip access latency distributions. The
+// paper's headline: >90% of CXL-SSD requests within 200 ns, tails at
+// hundreds of µs (ms under GC).
+func (h *Harness) Fig03() Table {
+	t := Table{
+		ID:     "fig03",
+		Title:  "Off-chip read latency distribution (ns)",
+		Header: []string{"workload", "memory", "p50", "p90", "p99", "p99.9", "max", "<200ns"},
+	}
+	for _, spec := range h.specs() {
+		if !in(spec.Name, "bc", "bfs-dense", "srad", "tpcc") {
+			continue
+		}
+		d, b := h.motivationPair(spec)
+		for _, pair := range []struct {
+			label string
+			r     *system.Result
+		}{{"DRAM", d}, {"CXL-SSD", b}} {
+			lh := pair.r.ReadLat
+			t.Rows = append(t.Rows, []string{
+				spec.Name, pair.label,
+				fmt.Sprintf("%.0f", lh.Percentile(50).Nanoseconds()),
+				fmt.Sprintf("%.0f", lh.Percentile(90).Nanoseconds()),
+				fmt.Sprintf("%.0f", lh.Percentile(99).Nanoseconds()),
+				fmt.Sprintf("%.0f", lh.Percentile(99.9).Nanoseconds()),
+				fmt.Sprintf("%.0f", lh.Max().Nanoseconds()),
+				pct(lh.FractionBelow(200 * sim.Nanosecond)),
+			})
+		}
+	}
+	return t
+}
+
+// Fig04 reproduces Fig. 4: memory- vs compute-bounded execution (paper:
+// 62.9–98.7% memory-bound on DRAM, 77–99.8% on the CXL-SSD).
+func (h *Harness) Fig04() Table {
+	t := Table{
+		ID:     "fig04",
+		Title:  "Execution boundedness, DRAM vs baseline CXL-SSD",
+		Header: []string{"workload", "DRAM mem", "DRAM compute", "CSSD mem", "CSSD compute"},
+	}
+	for _, spec := range h.specs() {
+		d, b := h.motivationPair(spec)
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			pct(d.Bound.MemFrac()), pct(d.Bound.ComputeFrac()),
+			pct(b.Bound.MemFrac()), pct(b.Bound.ComputeFrac()),
+		})
+	}
+	return t
+}
+
+// localityRatios are the footprint:cache ratios swept in Figs. 5–6.
+var localityRatios = []int{4, 16, 64}
+
+// Fig05 reproduces Fig. 5: the CDF of the fraction of cachelines read per
+// page resident in the SSD DRAM cache (paper: most workloads touch <40% of
+// lines in >75% of pages).
+func (h *Harness) Fig05() Table { return h.locality("fig05", true) }
+
+// Fig06 reproduces Fig. 6: the same distribution for dirty lines per page
+// flushed to flash.
+func (h *Harness) Fig06() Table { return h.locality("fig06", false) }
+
+func (h *Harness) locality(id string, read bool) Table {
+	title := "Dirty-line ratio of pages flushed to flash (CDF points)"
+	if read {
+		title = "Accessed-line ratio of pages read into SSD DRAM (CDF points)"
+	}
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"workload", "ratio 1:n", "<=12.5%", "<=25%", "<=50%", "mean"},
+	}
+	for _, spec := range h.specs() {
+		if !in(spec.Name, "bc", "dlrm", "radix", "ycsb") {
+			continue
+		}
+		for _, n := range localityRatios {
+			n := n
+			r := h.run(spec, system.BaseCSSD, h.Opt.SweepInstr, 0,
+				fmt.Sprintf("loc%d", n), func(c *system.Config) {
+					c.TrackLocality = true
+					c.SSDDRAMBytes = int(spec.FootprintBytes()) / n
+					c.WriteLogBytes = c.SSDDRAMBytes / 8
+				})
+			dist := r.ReadLocality
+			if !read {
+				dist = r.WriteLocality
+			}
+			row := []string{spec.Name, fmt.Sprintf("1:%d", n)}
+			var mean float64
+			for _, cut := range []float64{0.125, 0.25, 0.5} {
+				frac := 0.0
+				for _, p := range dist {
+					if p.Value <= cut {
+						frac = p.Cum
+					}
+				}
+				row = append(row, pct(frac))
+			}
+			for _, p := range dist {
+				mean += 0 * p.Value // CDF points carry cumulative info; mean from last
+			}
+			if len(dist) > 0 {
+				// Approximate mean from the CDF points.
+				prev := 0.0
+				for _, p := range dist {
+					mean += p.Value * (p.Cum - prev)
+					prev = p.Cum
+				}
+			}
+			row = append(row, f3(mean))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// fig9Thresholds are the trigger thresholds of Fig. 9, in µs.
+var fig9Thresholds = []int{2, 10, 20, 40, 60, 80}
+
+// Fig09 reproduces Fig. 9: sensitivity to the context-switch trigger
+// threshold (paper: 2 µs is best; higher thresholds forgo switches).
+func (h *Harness) Fig09() Table {
+	t := Table{
+		ID:     "fig09",
+		Title:  "Execution time vs trigger threshold (normalized to 2µs)",
+		Header: append([]string{"workload"}, mapStrings(fig9Thresholds, func(v int) string { return fmt.Sprintf("%dµs", v) })...),
+	}
+	for _, spec := range h.specs() {
+		if !in(spec.Name, "bc", "bfs-dense", "srad", "tpcc") {
+			continue
+		}
+		var base sim.Time
+		row := []string{spec.Name}
+		for i, us := range fig9Thresholds {
+			us := us
+			r := h.run(spec, system.SkyByteFull, h.Opt.SweepInstr, 0,
+				fmt.Sprintf("thr%d", us), func(c *system.Config) {
+					c.HintThreshold = sim.Time(us) * sim.Microsecond
+				})
+			if i == 0 {
+				base = r.ExecTime
+			}
+			row = append(row, f2(float64(r.ExecTime)/float64(base)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig10 reproduces Fig. 10: the three scheduling policies perform
+// similarly; context-switch time is visible for switch-heavy workloads.
+func (h *Harness) Fig10() Table {
+	t := Table{
+		ID:     "fig10",
+		Title:  "Scheduling policies (exec normalized to RR; time breakdown)",
+		Header: []string{"workload", "policy", "norm exec", "ctx", "mem", "compute"},
+	}
+	for _, spec := range h.specs() {
+		if !in(spec.Name, "bc", "radix", "srad", "tpcc") {
+			continue
+		}
+		var base sim.Time
+		for i, pol := range []osched.PolicyKind{osched.PolicyRR, osched.PolicyRandom, osched.PolicyCFS} {
+			pol := pol
+			r := h.run(spec, system.SkyByteFull, h.Opt.SweepInstr, 0,
+				"pol"+string(pol), func(c *system.Config) { c.Policy = pol })
+			if i == 0 {
+				base = r.ExecTime
+			}
+			t.Rows = append(t.Rows, []string{
+				spec.Name, string(pol), f2(float64(r.ExecTime) / float64(base)),
+				pct(r.Bound.CtxFrac()), pct(r.Bound.MemFrac()), pct(r.Bound.ComputeFrac()),
+			})
+		}
+	}
+	return t
+}
+
+// Fig14 reproduces the headline Fig. 14: every variant's execution time
+// normalized to Base-CSSD (paper: SkyByte-Full 6.11x mean speedup, reaching
+// 75% of DRAM-Only).
+func (h *Harness) Fig14() Table {
+	t := Table{
+		ID:     "fig14",
+		Title:  "Normalized execution time over Base-CSSD (lower is better)",
+		Header: append([]string{"workload"}, mapStrings(system.AllVariants, func(v system.Variant) string { return string(v) })...),
+	}
+	speedups := map[system.Variant][]float64{}
+	for _, spec := range h.specs() {
+		base := h.run(spec, system.BaseCSSD, h.Opt.TotalInstr, 0, "")
+		row := []string{spec.Name}
+		for _, v := range system.AllVariants {
+			r := h.run(spec, v, h.Opt.TotalInstr, 0, "")
+			row = append(row, f3(float64(r.ExecTime)/float64(base.ExecTime)))
+			speedups[v] = append(speedups[v], float64(base.ExecTime)/float64(r.ExecTime))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	geo := []string{"geo.mean"}
+	for _, v := range system.AllVariants {
+		geo = append(geo, f3(1/stats.GeoMean(speedups[v])))
+	}
+	t.Rows = append(t.Rows, geo)
+	t.Note = fmt.Sprintf("SkyByte-Full mean speedup over Base-CSSD: %.2fx (paper: 6.11x); of DRAM-Only: %.0f%% (paper: 75%%)",
+		stats.GeoMean(speedups[system.SkyByteFull]),
+		100*stats.GeoMean(speedups[system.SkyByteFull])/stats.GeoMean(speedups[system.DRAMOnly]))
+	return t
+}
+
+// fig15Threads is the thread sweep of Fig. 15.
+var fig15Threads = []int{8, 16, 24, 32, 40, 48}
+
+// Fig15 reproduces Fig. 15: throughput and SSD bandwidth utilization of
+// SkyByte-Full as threads increase (normalized to SkyByte-WP @ 8 threads).
+func (h *Harness) Fig15() Table {
+	t := Table{
+		ID:     "fig15",
+		Title:  "SkyByte-Full throughput (and link GB/s) vs thread count, normalized to SkyByte-WP@8",
+		Header: append([]string{"workload"}, mapStrings(fig15Threads, func(v int) string { return fmt.Sprintf("t=%d", v) })...),
+	}
+	for _, spec := range h.specs() {
+		wp := h.run(spec, system.SkyByteWP, h.Opt.SweepInstr, 8, "f15")
+		baseIPS := wp.IPS()
+		row := []string{spec.Name}
+		for _, n := range fig15Threads {
+			r := h.run(spec, system.SkyByteFull, h.Opt.SweepInstr, n, fmt.Sprintf("f15t%d", n))
+			row = append(row, fmt.Sprintf("%s (%.2fGB/s)", f2(r.IPS()/baseIPS), r.SSDBandwidthBps/1e9))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig16 reproduces Fig. 16: the breakdown of memory requests served by
+// host DRAM, SSD DRAM hits, SSD DRAM misses, and SSD writes.
+func (h *Harness) Fig16() Table {
+	t := Table{
+		ID:     "fig16",
+		Title:  "Memory request breakdown of SkyByte-Full",
+		Header: []string{"workload", "H-R/W", "S-R-H", "S-R-M", "S-W"},
+	}
+	for _, spec := range h.specs() {
+		r := h.run(spec, system.SkyByteFull, h.Opt.TotalInstr, 0, "")
+		row := []string{spec.Name}
+		for c := stats.HostRW; c <= stats.SSDWrite; c++ {
+			row = append(row, pct(r.Breakdown.Frac(c)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fig17Variants is the design set of Fig. 17.
+var fig17Variants = []system.Variant{system.BaseCSSD, system.SkyByteP, system.SkyByteW, system.SkyByteWP, system.SkyByteFull, system.DRAMOnly}
+
+// Fig17 reproduces Fig. 17: average memory access time and its breakdown
+// (paper: 14.19x AMAT reduction for Full over Base on average).
+func (h *Harness) Fig17() Table {
+	t := Table{
+		ID:     "fig17",
+		Title:  "AMAT (ns) and component breakdown",
+		Header: []string{"workload", "design", "AMAT", "host", "protocol", "indexing", "ssdDRAM", "flash"},
+	}
+	for _, spec := range h.specs() {
+		for _, v := range fig17Variants {
+			r := h.run(spec, v, h.Opt.TotalInstr, 0, "")
+			a := r.AMAT
+			t.Rows = append(t.Rows, []string{
+				spec.Name, string(v),
+				fmt.Sprintf("%.0f", a.Mean().Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATHostDRAM).Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATCXLProtocol).Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATIndexing).Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATSSDDRAM).Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATFlash).Nanoseconds()),
+			})
+		}
+	}
+	return t
+}
+
+// fig18Variants is the design set of Fig. 18.
+var fig18Variants = []system.Variant{system.BaseCSSD, system.SkyByteP, system.SkyByteC, system.SkyByteW, system.SkyByteCP, system.SkyByteWP, system.SkyByteFull}
+
+// Fig18 reproduces Fig. 18: flash write traffic normalized to Base-CSSD
+// (paper: 23.08x mean reduction for the full design).
+func (h *Harness) Fig18() Table {
+	t := Table{
+		ID:     "fig18",
+		Title:  "Flash write traffic normalized to Base-CSSD (lower is better)",
+		Header: append([]string{"workload"}, mapStrings(fig18Variants, func(v system.Variant) string { return string(v) })...),
+	}
+	var reductions []float64
+	for _, spec := range h.specs() {
+		base := h.run(spec, system.BaseCSSD, h.Opt.TotalInstr, 0, "")
+		bp := float64(base.Traffic.TotalPrograms())
+		row := []string{spec.Name}
+		for _, v := range fig18Variants {
+			r := h.run(spec, v, h.Opt.TotalInstr, 0, "")
+			p := float64(r.Traffic.TotalPrograms())
+			if bp == 0 {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, f3(p/bp))
+			if v == system.SkyByteFull && p > 0 {
+				reductions = append(reductions, bp/p)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if len(reductions) > 0 {
+		t.Note = fmt.Sprintf("SkyByte-Full mean write-traffic reduction: %.1fx (paper: 23.08x)", stats.GeoMean(reductions))
+	}
+	return t
+}
+
+// fig19Sizes are the write-log sizes of Figs. 19–20, scaled 1/64 from the
+// paper's 0.5–256 MB sweep over a 512 MB SSD DRAM.
+var fig19Sizes = []int{16 * mem.KiB, 64 * mem.KiB, 256 * mem.KiB, 1 * mem.MiB, 4 * mem.MiB}
+
+// Fig19 reproduces Fig. 19: performance vs write-log size (total SSD DRAM
+// held constant).
+func (h *Harness) Fig19() Table { return h.logSweep("fig19", true) }
+
+// Fig20 reproduces Fig. 20: flash write traffic vs write-log size.
+func (h *Harness) Fig20() Table { return h.logSweep("fig20", false) }
+
+func (h *Harness) logSweep(id string, perf bool) Table {
+	title := "Flash write traffic vs write-log size (normalized to 1MB)"
+	if perf {
+		title = "Execution time vs write-log size (normalized to 1MB)"
+	}
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"workload"}, mapStrings(fig19Sizes, bytesLabel)...),
+		Note:   "1MB is 1/64 of the paper's default 64MB log; total SSD DRAM fixed",
+	}
+	for _, spec := range h.specs() {
+		var baseExec, baseProg float64
+		vals := make([]float64, len(fig19Sizes))
+		for i, sz := range fig19Sizes {
+			sz := sz
+			r := h.run(spec, system.SkyByteFull, h.Opt.SweepInstr, 0,
+				"log"+bytesLabel(sz), func(c *system.Config) { c.WriteLogBytes = sz })
+			if perf {
+				vals[i] = float64(r.ExecTime)
+			} else {
+				vals[i] = float64(r.Traffic.TotalPrograms())
+			}
+			if sz == 1*mem.MiB {
+				baseExec = float64(r.ExecTime)
+				baseProg = float64(r.Traffic.TotalPrograms())
+			}
+		}
+		row := []string{spec.Name}
+		for _, v := range vals {
+			den := baseExec
+			if !perf {
+				den = baseProg
+			}
+			if den == 0 {
+				row = append(row, "n/a")
+			} else {
+				row = append(row, f3(v/den))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fig21Sizes are the SSD DRAM capacities of Fig. 21, scaled 1/64 from
+// 0.125–2 GB.
+var fig21Sizes = []int{2 * mem.MiB, 4 * mem.MiB, 8 * mem.MiB, 16 * mem.MiB, 32 * mem.MiB}
+
+var fig21Variants = []system.Variant{system.BaseCSSD, system.SkyByteP, system.SkyByteW, system.SkyByteWP, system.SkyByteFull}
+
+// Fig21 reproduces Fig. 21: performance with varying SSD DRAM cache size
+// (host promotion budget and log scale with it, as §VI-F specifies).
+func (h *Harness) Fig21() Table {
+	t := Table{
+		ID:     "fig21",
+		Title:  "Execution time vs SSD DRAM size (normalized to SkyByte-Full @8MB)",
+		Header: append([]string{"workload", "design"}, mapStrings(fig21Sizes, bytesLabel)...),
+	}
+	for _, spec := range h.specs() {
+		ref := h.run(spec, system.SkyByteFull, h.Opt.SweepInstr, 0, "dram8MB", sizeMutation(8*mem.MiB))
+		for _, v := range fig21Variants {
+			row := []string{spec.Name, string(v)}
+			for _, sz := range fig21Sizes {
+				r := h.run(spec, v, h.Opt.SweepInstr, 0, "dram"+bytesLabel(sz), sizeMutation(sz))
+				row = append(row, f2(float64(r.ExecTime)/float64(ref.ExecTime)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// sizeMutation rescales the SSD DRAM, keeping the paper's ratios: the log
+// is 1/8 of SSD DRAM, the promotion budget 4x SSD DRAM (§VI-F).
+func sizeMutation(bytes int) mutate {
+	return func(c *system.Config) {
+		c.SSDDRAMBytes = bytes
+		c.WriteLogBytes = bytes / 8
+		c.PromotedMaxBytes = 4 * bytes
+	}
+}
+
+// fig22Timings are Table IV's NAND classes.
+var fig22Timings = []string{"ULL", "ULL2", "SLC", "MLC"}
+
+// Fig22 reproduces Fig. 22: sensitivity to flash latency class, varying
+// SkyByte-Full's thread count (16/24/32).
+func (h *Harness) Fig22() Table {
+	t := Table{
+		ID:     "fig22",
+		Title:  "Execution time (µs) by NAND class (Table IV)",
+		Header: []string{"workload", "NAND", "SkyByte-P", "SkyByte-W", "SkyByte-WP", "Full-16", "Full-24", "Full-32"},
+	}
+	for _, spec := range h.specs() {
+		for _, nand := range fig22Timings {
+			nand := nand
+			mut := timingMutation(nand)
+			row := []string{spec.Name, nand}
+			for _, v := range []system.Variant{system.SkyByteP, system.SkyByteW, system.SkyByteWP} {
+				r := h.run(spec, v, h.Opt.SweepInstr, 0, "nand"+nand, mut)
+				row = append(row, fmt.Sprintf("%.0f", r.ExecTime.Microseconds()))
+			}
+			for _, n := range []int{16, 24, 32} {
+				r := h.run(spec, system.SkyByteFull, h.Opt.SweepInstr, n, fmt.Sprintf("nand%st%d", nand, n), mut)
+				row = append(row, fmt.Sprintf("%.0f", r.ExecTime.Microseconds()))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+func timingMutation(nand string) mutate {
+	return func(c *system.Config) {
+		switch nand {
+		case "ULL":
+			// default
+		case "ULL2":
+			c.Timing.Read, c.Timing.Program, c.Timing.Erase = 4*sim.Microsecond, 75*sim.Microsecond, 850*sim.Microsecond
+		case "SLC":
+			c.Timing.Read, c.Timing.Program, c.Timing.Erase = 25*sim.Microsecond, 200*sim.Microsecond, 1500*sim.Microsecond
+		case "MLC":
+			c.Timing.Read, c.Timing.Program, c.Timing.Erase = 50*sim.Microsecond, 600*sim.Microsecond, 3000*sim.Microsecond
+		}
+	}
+}
+
+// fig23Variants is the migration-mechanism comparison set of Fig. 23.
+var fig23Variants = []system.Variant{system.SkyByteC, system.AstriFlashCXL, system.SkyByteCT, system.SkyByteCP, system.SkyByteWCT, system.SkyByteFull}
+
+// Fig23 reproduces Fig. 23: alternative page-management mechanisms,
+// normalized to SkyByte-C.
+func (h *Harness) Fig23() Table {
+	t := Table{
+		ID:     "fig23",
+		Title:  "Page-migration mechanisms (exec normalized to SkyByte-C)",
+		Header: append([]string{"workload"}, mapStrings(fig23Variants, func(v system.Variant) string { return string(v) })...),
+	}
+	for _, spec := range h.specs() {
+		base := h.run(spec, system.SkyByteC, h.Opt.SweepInstr, 0, "f23")
+		row := []string{spec.Name}
+		for _, v := range fig23Variants {
+			r := h.run(spec, v, h.Opt.SweepInstr, 0, "f23")
+			row = append(row, f3(float64(r.ExecTime)/float64(base.ExecTime)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func in(name string, set ...string) bool {
+	for _, s := range set {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func mapStrings[T any](xs []T, f func(T) string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}

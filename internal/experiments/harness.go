@@ -1,0 +1,182 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): each Fig*/Table* method runs the required simulator
+// configurations and returns the same rows/series the paper plots.
+// EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Absolute numbers differ from the paper (synthetic workloads on a scaled
+// device — DESIGN.md §1); the comparisons preserve the paper's shape: who
+// wins, by roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"skybyte/internal/mem"
+	"skybyte/internal/system"
+	"skybyte/internal/workloads"
+)
+
+// Options scope an experiment campaign.
+type Options struct {
+	// BaseConfig is the machine; defaults to system.ScaledConfig().
+	BaseConfig system.Config
+	// TotalInstr is the total work per run, divided evenly among threads
+	// so every design point executes the same program section (§VI-A).
+	TotalInstr uint64
+	// SweepInstr is the (smaller) work budget for many-cell sweeps.
+	SweepInstr uint64
+	// Workloads restricts the benchmark set (default: all of Table I).
+	Workloads []string
+	Seed      uint64
+}
+
+// DefaultOptions returns a campaign sized to run a full sweep in minutes.
+func DefaultOptions() Options {
+	return Options{
+		BaseConfig: system.ScaledConfig(),
+		TotalInstr: 384_000,
+		SweepInstr: 192_000,
+		Workloads:  workloads.Names(),
+		Seed:       7,
+	}
+}
+
+// Harness memoises simulation runs so figures sharing design points (e.g.
+// Figs. 14, 16, 17, 18) pay for them once.
+type Harness struct {
+	Opt   Options
+	cache map[string]*system.Result
+	// Verbose, when set, logs each run as it completes.
+	Verbose func(key string, r *system.Result)
+}
+
+// NewHarness builds a harness.
+func NewHarness(opt Options) *Harness {
+	if opt.TotalInstr == 0 {
+		opt = DefaultOptions()
+	}
+	return &Harness{Opt: opt, cache: make(map[string]*system.Result)}
+}
+
+func (h *Harness) specs() []workloads.Spec {
+	var out []workloads.Spec
+	for _, name := range h.Opt.Workloads {
+		s, err := workloads.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// threadsFor follows §VI-A: 24 threads on 8 cores when the coordinated
+// context switch is enabled, 8 threads otherwise.
+func threadsFor(cfg system.Config) int {
+	if cfg.CtxSwitchEnabled || cfg.Migration == system.MigrationAstri {
+		return 3 * cfg.Cores
+	}
+	return cfg.Cores
+}
+
+// mutate lets callers adjust a variant config before a run.
+type mutate func(*system.Config)
+
+// run executes (or recalls) one design point on one workload.
+func (h *Harness) run(spec workloads.Spec, v system.Variant, totalInstr uint64, threads int, key string, muts ...mutate) *system.Result {
+	full := fmt.Sprintf("%s|%s|%d|%d|%s", spec.Name, v, totalInstr, threads, key)
+	if r, ok := h.cache[full]; ok {
+		return r
+	}
+	cfg := h.Opt.BaseConfig.WithVariant(v)
+	for _, m := range muts {
+		m(&cfg)
+	}
+	if threads == 0 {
+		threads = threadsFor(cfg)
+	}
+	sys := system.New(cfg)
+	per := totalInstr / uint64(threads)
+	for i := 0; i < threads; i++ {
+		sys.AddThread(spec.Stream(i, h.Opt.Seed), per)
+	}
+	r := sys.Run()
+	h.cache[full] = r
+	if h.Verbose != nil {
+		h.Verbose(full, r)
+	}
+	return r
+}
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID     string // e.g. "fig14"
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "   %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, hcol := range t.Header {
+		widths[i] = len(hcol)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// sortedKeys is a deterministic map iteration helper.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+var _ = sortedKeys[string, int] // generic helper used by future figures
+
+// bytesLabel renders a byte count compactly for sweep headers.
+func bytesLabel(n int) string {
+	switch {
+	case n >= mem.MiB:
+		return fmt.Sprintf("%dMB", n/mem.MiB)
+	case n >= mem.KiB:
+		return fmt.Sprintf("%dKB", n/mem.KiB)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

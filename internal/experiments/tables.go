@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"skybyte/internal/stats"
+	"skybyte/internal/system"
+	"skybyte/internal/trace"
+)
+
+// Table1 reproduces Table I: the measured characteristics of each workload
+// generator against the paper's figures.
+func (h *Harness) Table1() Table {
+	t := Table{
+		ID:     "table1",
+		Title:  "Workload characteristics (measured vs paper)",
+		Header: []string{"workload", "footprint", "write ratio", "paper wr", "MPKI", "paper MPKI"},
+		Note:   "footprints are 1/64 of Table I; MPKI measured on the DRAM-Only configuration",
+	}
+	for _, spec := range h.specs() {
+		// Measure the write ratio directly from the generator.
+		st := spec.Stream(0, h.Opt.Seed)
+		var loads, stores uint64
+		for i := 0; i < 60000; i++ {
+			r, ok := st.Next()
+			if !ok {
+				break
+			}
+			switch r.Kind {
+			case trace.Load, trace.LoadDep:
+				loads++
+			case trace.Store:
+				stores++
+			}
+		}
+		d := h.run(spec, system.DRAMOnly, h.Opt.TotalInstr, 0, "")
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			stats.FormatGB(spec.FootprintBytes()),
+			pct(float64(stores) / float64(loads+stores)),
+			pct(spec.WriteRatio),
+			f2(d.MPKI),
+			f2(spec.PaperMPKI),
+		})
+	}
+	return t
+}
+
+// Table3 reproduces Table III: the average flash read latency under
+// SkyByte-WP (paper: 3.3–25.7 µs — queueing inflates some workloads well
+// above tR).
+func (h *Harness) Table3() Table {
+	t := Table{
+		ID:     "table3",
+		Title:  "Average flash read latency of SkyByte-WP (µs)",
+		Header: []string{"workload", "latency", "paper"},
+	}
+	paper := map[string]string{
+		"bc": "3.5", "bfs-dense": "25.7", "dlrm": "3.4", "radix": "4.9",
+		"srad": "22.5", "tpcc": "19.6", "ycsb": "3.3",
+	}
+	for _, spec := range h.specs() {
+		r := h.run(spec, system.SkyByteWP, h.Opt.TotalInstr, 0, "")
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			f2(r.FlashLat.Mean().Microseconds()),
+			paper[spec.Name],
+		})
+	}
+	return t
+}
+
+// CostEffectiveness reproduces §VI-B's cost analysis: DDR5 at $4.28/GB vs
+// ULL flash at $0.27/GB (summer 2024 prices quoted by the paper), SkyByte
+// is 15.9x cheaper than DRAM-only and improves cost-effectiveness 11.8x.
+func (h *Harness) CostEffectiveness() Table {
+	const dramPerGB, ssdPerGB = 4.28, 0.27
+	t := Table{
+		ID:     "cost",
+		Title:  "Cost-effectiveness of SkyByte-Full vs DRAM-Only (§VI-B)",
+		Header: []string{"workload", "perf vs DRAM", "cost ratio", "perf/$ gain"},
+		Note:   fmt.Sprintf("unit prices: DDR5 $%.2f/GB, ULL SSD $%.2f/GB (paper: 15.9x cheaper, 11.8x better perf/$)", dramPerGB, ssdPerGB),
+	}
+	costRatio := dramPerGB / ssdPerGB
+	var perfs []float64
+	for _, spec := range h.specs() {
+		full := h.run(spec, system.SkyByteFull, h.Opt.TotalInstr, 0, "")
+		d := h.run(spec, system.DRAMOnly, h.Opt.TotalInstr, 0, "")
+		perf := float64(d.ExecTime) / float64(full.ExecTime)
+		perfs = append(perfs, perf)
+		t.Rows = append(t.Rows, []string{spec.Name, pct(perf), f2(costRatio), f2(perf * costRatio)})
+	}
+	t.Rows = append(t.Rows, []string{"geo.mean", pct(stats.GeoMean(perfs)), f2(costRatio), f2(stats.GeoMean(perfs) * costRatio)})
+	return t
+}
+
+// WriteLogStats reports §III-B's implementation claims: the two-level hash
+// index footprint (paper: 5.6 MB average on a 64 MB log, ≤32 MB worst
+// case — here at 1/64 scale) and the mean compaction time (paper: 146 µs).
+func (h *Harness) WriteLogStats() Table {
+	t := Table{
+		ID:     "writelog",
+		Title:  "Write-log index footprint and compaction time (SkyByte-Full)",
+		Header: []string{"workload", "peak index", "log capacity", "compactions", "mean compaction"},
+		Note:   "paper: index averages 5.6MB on a 64MB log; a compaction averages 146µs",
+	}
+	for _, spec := range h.specs() {
+		r := h.run(spec, system.SkyByteFull, h.Opt.TotalInstr, 0, "")
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			stats.FormatGB(uint64(r.LogIndexPeak)),
+			stats.FormatGB(uint64(h.Opt.BaseConfig.WriteLogBytes)),
+			fmt.Sprintf("%d", r.Compaction.Count),
+			r.Compaction.Mean().String(),
+		})
+	}
+	return t
+}
+
+// All runs every experiment in paper order.
+func (h *Harness) All() []Table {
+	return []Table{
+		h.Table1(),
+		h.Fig02(),
+		h.Fig03(),
+		h.Fig04(),
+		h.Fig05(),
+		h.Fig06(),
+		h.Fig09(),
+		h.Fig10(),
+		h.Fig14(),
+		h.Fig15(),
+		h.Fig16(),
+		h.Fig17(),
+		h.Fig18(),
+		h.Fig19(),
+		h.Fig20(),
+		h.Fig21(),
+		h.Fig22(),
+		h.Fig23(),
+		h.Table3(),
+		h.CostEffectiveness(),
+		h.WriteLogStats(),
+	}
+}
+
+// WriteAll renders every experiment to w.
+func (h *Harness) WriteAll(w io.Writer) {
+	for _, t := range h.All() {
+		fmt.Fprintln(w, t.String())
+	}
+}

@@ -1,0 +1,485 @@
+// Package ftl implements the SSD's flash translation layer: the LPA→PPA
+// page mapping, out-of-place writes striped across channels, and greedy
+// garbage collection (paper §II, Table II: threshold 80 %).
+//
+// Metadata (mappings, block states) updates at enqueue time; the flash
+// array models when the underlying operations actually occupy the channels.
+// GC traffic therefore blocks demand requests on its channel — the effect
+// Algorithm 1's latency estimator and the immediate-context-switch-on-GC
+// rule react to — without the deadlock hazards of an asynchronous metadata
+// state machine (see DESIGN.md §1 on the "# of Blocks to Erase"
+// interpretation).
+package ftl
+
+import (
+	"fmt"
+
+	"skybyte/internal/flash"
+	"skybyte/internal/mem"
+	"skybyte/internal/sim"
+	"skybyte/internal/trace"
+)
+
+// Config tunes the FTL.
+type Config struct {
+	// UsableRatio is the fraction of physical pages exposed as logical
+	// capacity; the rest is over-provisioning for GC.
+	UsableRatio float64
+	// GCTriggerFree starts GC on a channel when its free-block ratio drops
+	// below this value. Table II's "Threshold: 80%" utilisation = 0.20 free.
+	GCTriggerFree float64
+	// GCReplenishFree is the free-block ratio GC restores before stopping.
+	GCReplenishFree float64
+}
+
+// DefaultConfig mirrors Table II.
+func DefaultConfig() Config {
+	return Config{UsableRatio: 0.875, GCTriggerFree: 0.20, GCReplenishFree: 0.25}
+}
+
+// Stats counts FTL-level activity.
+type Stats struct {
+	UserPrograms  uint64
+	GCPrograms    uint64
+	GCReads       uint64
+	Erases        uint64
+	GCInvocations uint64
+}
+
+// WriteAmplification returns (user+GC programs)/user programs.
+func (s Stats) WriteAmplification() float64 {
+	if s.UserPrograms == 0 {
+		return 0
+	}
+	return float64(s.UserPrograms+s.GCPrograms) / float64(s.UserPrograms)
+}
+
+type blockState uint8
+
+const (
+	blockFree blockState = iota
+	blockOpen
+	blockFull
+)
+
+type blockMeta struct {
+	state    blockState
+	valid    int32
+	nextPage int32 // next programmable page offset when open
+}
+
+const unmapped = int64(-1)
+
+// FTL is the translation layer bound to one flash array.
+type FTL struct {
+	eng *sim.Engine
+	arr *flash.Array
+	geo flash.Geometry
+	cfg Config
+
+	logicalPages uint64
+	l2p          []int64
+	p2l          []int64
+	blocks       []blockMeta
+	freeBlocks   [][]uint32 // per-channel stacks
+	open         []int64    // per-channel open block (-1 = none)
+	gcBusyUntil  []sim.Time
+	inGC         []bool
+	nextChan     int
+
+	stats Stats
+}
+
+// New builds an FTL over arr.
+func New(eng *sim.Engine, arr *flash.Array, cfg Config) *FTL {
+	geo := arr.Geo
+	f := &FTL{
+		eng:          eng,
+		arr:          arr,
+		geo:          geo,
+		cfg:          cfg,
+		logicalPages: uint64(float64(geo.TotalPages()) * cfg.UsableRatio),
+		l2p:          make([]int64, uint64(float64(geo.TotalPages())*cfg.UsableRatio)),
+		p2l:          make([]int64, geo.TotalPages()),
+		blocks:       make([]blockMeta, geo.TotalBlocks()),
+		freeBlocks:   make([][]uint32, geo.Channels),
+		open:         make([]int64, geo.Channels),
+		gcBusyUntil:  make([]sim.Time, geo.Channels),
+		inGC:         make([]bool, geo.Channels),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	for b := geo.TotalBlocks() - 1; b >= 0; b-- {
+		ch := geo.ChannelOfBlock(uint32(b))
+		f.freeBlocks[ch] = append(f.freeBlocks[ch], uint32(b))
+	}
+	for ch := range f.open {
+		f.open[ch] = -1
+	}
+	return f
+}
+
+// LogicalPages returns the exposed logical capacity in pages.
+func (f *FTL) LogicalPages() uint64 { return f.logicalPages }
+
+// LogicalBytes returns the exposed logical capacity in bytes.
+func (f *FTL) LogicalBytes() uint64 { return f.logicalPages * mem.PageBytes }
+
+// Stats returns a copy of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// Translate returns the physical page backing lpa.
+func (f *FTL) Translate(lpa uint64) (ppa uint64, ok bool) {
+	if lpa >= f.logicalPages {
+		panic(fmt.Sprintf("ftl: lpa %d beyond logical capacity %d", lpa, f.logicalPages))
+	}
+	p := f.l2p[lpa]
+	if p == unmapped {
+		return 0, false
+	}
+	return uint64(p), true
+}
+
+// ChannelOf returns the channel that will serve a read of lpa (Algorithm 1
+// line 2–3), and ok=false if the page is unmapped (no flash access needed).
+func (f *FTL) ChannelOf(lpa uint64) (ch int, ok bool) {
+	ppa, ok := f.Translate(lpa)
+	if !ok {
+		return 0, false
+	}
+	return f.geo.ChannelOfPPA(ppa), true
+}
+
+// GCActive reports whether GC traffic is still draining on the channel;
+// the paper triggers an immediate context switch in that case.
+func (f *FTL) GCActive(ch int) bool { return f.eng.Now() < f.gcBusyUntil[ch] }
+
+// Read enqueues a flash read of lpa's page and returns its predicted
+// completion time. Unmapped pages complete on the next event cycle with
+// nil data (a fresh page reads as zeros) — always asynchronously, so
+// callers can register waiters after issuing.
+func (f *FTL) Read(lpa uint64, done func(data []byte)) sim.Time {
+	ppa, ok := f.Translate(lpa)
+	if !ok {
+		now := f.eng.Now()
+		if done != nil {
+			f.eng.After(0, func() { done(nil) })
+		}
+		return now
+	}
+	return f.arr.Read(ppa, done)
+}
+
+// Write programs a new physical page for lpa (out-of-place), invalidating
+// any previous mapping, and triggers GC if the target channel runs low on
+// free blocks. Writes stripe round-robin across channels to exploit
+// parallelism (§III-B: "distributes writes across multiple channels"), but
+// a channel whose blocks are all fully valid is skipped — it cannot accept
+// data until invalidations free space there.
+func (f *FTL) Write(lpa uint64, data []byte, done func()) {
+	for try := 0; try < f.geo.Channels; try++ {
+		ch := f.nextChan
+		f.nextChan = (f.nextChan + 1) % f.geo.Channels
+		if f.channelWritable(ch) {
+			f.writeTo(ch, lpa, data, done, false)
+			return
+		}
+	}
+	panic("ftl: no writable channel (device over capacity)")
+}
+
+// channelWritable reports whether ch can accept one more page program:
+// an open block with space, a free block, or a reclaimable victim.
+func (f *FTL) channelWritable(ch int) bool {
+	if ob := f.open[ch]; ob >= 0 && int(f.blocks[ob].nextPage) < f.geo.PagesPerBlock {
+		return true
+	}
+	if len(f.freeBlocks[ch]) > 0 {
+		return true
+	}
+	return f.pickVictim(ch) >= 0
+}
+
+func (f *FTL) writeTo(ch int, lpa uint64, data []byte, done func(), gc bool) {
+	ppa := f.allocPage(ch)
+	f.invalidate(lpa)
+	f.l2p[lpa] = int64(ppa)
+	f.p2l[ppa] = int64(lpa)
+	b := f.geo.BlockOfPPA(ppa)
+	f.blocks[b].valid++
+	if gc {
+		f.stats.GCPrograms++
+	} else {
+		f.stats.UserPrograms++
+	}
+	f.arr.Program(ppa, data, done)
+	f.maybeGC(ch)
+}
+
+func (f *FTL) invalidate(lpa uint64) {
+	old := f.l2p[lpa]
+	if old == unmapped {
+		return
+	}
+	f.l2p[lpa] = unmapped
+	f.p2l[old] = unmapped
+	f.blocks[f.geo.BlockOfPPA(uint64(old))].valid--
+}
+
+// Trim invalidates lpa without writing a replacement (used when a page
+// migrates to host DRAM permanently, or for tests).
+func (f *FTL) Trim(lpa uint64) { f.invalidate(lpa) }
+
+func (f *FTL) allocPage(ch int) uint64 {
+	for {
+		if ob := f.open[ch]; ob >= 0 {
+			m := &f.blocks[ob]
+			ppa := uint64(ob)*uint64(f.geo.PagesPerBlock) + uint64(m.nextPage)
+			m.nextPage++
+			if int(m.nextPage) == f.geo.PagesPerBlock {
+				m.state = blockFull
+				f.open[ch] = -1
+			}
+			return ppa
+		}
+		if len(f.freeBlocks[ch]) == 0 {
+			// Emergency GC: reclaim synchronously (metadata-wise) right
+			// now. Its relocations may consume what it frees, so loop and
+			// re-check rather than assuming a block became available.
+			if !f.gcChannel(ch, 1) {
+				panic(fmt.Sprintf("ftl: channel %d out of blocks and nothing to reclaim", ch))
+			}
+			continue
+		}
+		stack := f.freeBlocks[ch]
+		b := stack[len(stack)-1]
+		f.freeBlocks[ch] = stack[:len(stack)-1]
+		m := &f.blocks[b]
+		m.state = blockOpen
+		m.nextPage = 0
+		f.open[ch] = int64(b)
+	}
+}
+
+func (f *FTL) blocksPerChannel() int { return f.geo.TotalBlocks() / f.geo.Channels }
+
+func (f *FTL) maybeGC(ch int) {
+	if f.inGC[ch] {
+		return
+	}
+	trigger := int(f.cfg.GCTriggerFree * float64(f.blocksPerChannel()))
+	if len(f.freeBlocks[ch]) >= trigger {
+		return
+	}
+	target := int(f.cfg.GCReplenishFree*float64(f.blocksPerChannel())) - len(f.freeBlocks[ch])
+	if target < 1 {
+		target = 1
+	}
+	f.stats.GCInvocations++
+	f.gcChannel(ch, target)
+}
+
+// gcChannel reclaims up to want blocks on channel ch, returning whether at
+// least one block was reclaimed. Victim selection is greedy (fewest valid
+// pages among full blocks). Each victim is reclaimed erase-first: its valid
+// pages are captured and invalidated, the block rejoins the free pool, and
+// the pages are then rewritten within the channel — so reclamation can
+// never strand a channel that still has reclaimable space. The flash queue
+// sees the same read/program/erase work either way.
+func (f *FTL) gcChannel(ch, want int) bool {
+	if !f.inGC[ch] {
+		f.inGC[ch] = true
+		defer func() { f.inGC[ch] = false }()
+	}
+	reclaimed := 0
+	for reclaimed < want {
+		victim := f.pickVictim(ch)
+		if victim < 0 {
+			break
+		}
+		vm := &f.blocks[victim]
+		first := uint64(victim) * uint64(f.geo.PagesPerBlock)
+		type reloc struct {
+			lpa  uint64
+			data []byte
+		}
+		var moved []reloc
+		for off := uint64(0); off < uint64(f.geo.PagesPerBlock); off++ {
+			ppa := first + off
+			lpa := f.p2l[ppa]
+			if lpa == unmapped {
+				continue
+			}
+			f.stats.GCReads++
+			var data []byte
+			if f.arr.TrackData {
+				data = append([]byte(nil), f.arr.PeekData(ppa)...)
+			}
+			f.arr.Read(ppa, nil)
+			f.invalidate(uint64(lpa))
+			moved = append(moved, reloc{lpa: uint64(lpa), data: data})
+		}
+		if vm.valid != 0 {
+			panic("ftl: victim still has valid pages after relocation")
+		}
+		vm.state = blockFree
+		vm.nextPage = 0
+		f.stats.Erases++
+		f.arr.Erase(uint32(victim), nil)
+		f.freeBlocks[ch] = append(f.freeBlocks[ch], uint32(victim))
+		for _, r := range moved {
+			f.writeTo(ch, r.lpa, r.data, nil, true)
+		}
+		reclaimed++
+	}
+	if reclaimed > 0 {
+		// The queue must drain the reads/programs/erases just enqueued.
+		busy := f.arr.QueueBusyUntil(ch)
+		if busy > f.gcBusyUntil[ch] {
+			f.gcBusyUntil[ch] = busy
+		}
+	}
+	return reclaimed > 0
+}
+
+// pickVictim returns the full block on ch with the fewest valid pages that
+// is not completely valid (erasing a fully valid block gains nothing), or
+// -1 if none exists.
+func (f *FTL) pickVictim(ch int) int64 {
+	best := int64(-1)
+	bestValid := int32(f.geo.PagesPerBlock)
+	for b := ch; b < f.geo.TotalBlocks(); b += f.geo.Channels {
+		m := &f.blocks[b]
+		if m.state != blockFull {
+			continue
+		}
+		if m.valid < bestValid {
+			bestValid = m.valid
+			best = int64(b)
+		}
+	}
+	if bestValid == int32(f.geo.PagesPerBlock) {
+		return -1
+	}
+	return best
+}
+
+// FreeBlocks returns the free-block count on a channel (tests/diagnostics).
+func (f *FTL) FreeBlocks(ch int) int { return len(f.freeBlocks[ch]) }
+
+// MappedPages returns how many logical pages currently have a mapping.
+func (f *FTL) MappedPages() uint64 {
+	var n uint64
+	for _, p := range f.l2p {
+		if p != unmapped {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies internal consistency (tests): l2p and p2l are
+// inverse, per-block valid counts match the mapping, and block accounting
+// covers every block exactly once.
+func (f *FTL) CheckInvariants() error {
+	valid := make([]int32, len(f.blocks))
+	for lpa, p := range f.l2p {
+		if p == unmapped {
+			continue
+		}
+		if f.p2l[p] != int64(lpa) {
+			return fmt.Errorf("l2p/p2l mismatch at lpa %d", lpa)
+		}
+		valid[f.geo.BlockOfPPA(uint64(p))]++
+	}
+	for b := range f.blocks {
+		if f.blocks[b].valid != valid[b] {
+			return fmt.Errorf("block %d valid count %d, recomputed %d", b, f.blocks[b].valid, valid[b])
+		}
+	}
+	seen := make([]bool, len(f.blocks))
+	for ch, stack := range f.freeBlocks {
+		for _, b := range stack {
+			if seen[b] {
+				return fmt.Errorf("block %d on multiple free lists", b)
+			}
+			seen[b] = true
+			if f.blocks[b].state != blockFree {
+				return fmt.Errorf("block %d on free list of ch %d but state %d", b, ch, f.blocks[b].state)
+			}
+		}
+	}
+	return nil
+}
+
+// Precondition pre-maps fillRatio of the logical space sequentially and
+// then rewrites rewriteRatio of those pages at random, creating scattered
+// invalid pages so GC triggers early in a run (paper §VI-A: "we
+// precondition the SSD to ensure garbage collections will be triggered").
+// Metadata-only: no flash timing is charged.
+func (f *FTL) Precondition(fillRatio, rewriteRatio float64, seed uint64) {
+	n := uint64(fillRatio * float64(f.logicalPages))
+	for lpa := uint64(0); lpa < n; lpa++ {
+		ch := f.nextChan
+		f.nextChan = (f.nextChan + 1) % f.geo.Channels
+		ppa := f.allocPage(ch)
+		f.invalidate(lpa)
+		f.l2p[lpa] = int64(ppa)
+		f.p2l[ppa] = int64(lpa)
+		f.blocks[f.geo.BlockOfPPA(ppa)].valid++
+	}
+	rng := trace.NewRNG(seed)
+	rewrites := uint64(rewriteRatio * float64(n))
+	for i := uint64(0); i < rewrites && n > 0; i++ {
+		lpa := rng.Uint64n(n)
+		ch := f.nextChan
+		f.nextChan = (f.nextChan + 1) % f.geo.Channels
+		for try := 0; try < f.geo.Channels && !f.channelWritable(ch); try++ {
+			ch = f.nextChan
+			f.nextChan = (f.nextChan + 1) % f.geo.Channels
+		}
+		// Metadata-only rewrite; may perform metadata GC if space is tight.
+		ppa := f.allocPageQuiet(ch)
+		f.invalidate(lpa)
+		f.l2p[lpa] = int64(ppa)
+		f.p2l[ppa] = int64(lpa)
+		f.blocks[f.geo.BlockOfPPA(ppa)].valid++
+	}
+}
+
+// allocPageQuiet allocates without enqueuing flash ops for any emergency
+// GC (preconditioning must not charge simulated time). It relocates valid
+// pages metadata-only.
+func (f *FTL) allocPageQuiet(ch int) uint64 {
+	if f.open[ch] < 0 && len(f.freeBlocks[ch]) == 0 {
+		victim := f.pickVictim(ch)
+		if victim < 0 {
+			panic("ftl: precondition exhausted channel")
+		}
+		first := uint64(victim) * uint64(f.geo.PagesPerBlock)
+		// Temporarily free the victim so relocation targets elsewhere.
+		var moved []uint64
+		for off := uint64(0); off < uint64(f.geo.PagesPerBlock); off++ {
+			if f.p2l[first+off] != unmapped {
+				moved = append(moved, uint64(f.p2l[first+off]))
+			}
+		}
+		for _, lpa := range moved {
+			f.invalidate(lpa)
+		}
+		f.blocks[victim].state = blockFree
+		f.blocks[victim].nextPage = 0
+		f.freeBlocks[ch] = append(f.freeBlocks[ch], uint32(victim))
+		for _, lpa := range moved {
+			ppa := f.allocPageQuiet(ch)
+			f.l2p[lpa] = int64(ppa)
+			f.p2l[ppa] = int64(lpa)
+			f.blocks[f.geo.BlockOfPPA(ppa)].valid++
+		}
+	}
+	return f.allocPage(ch)
+}

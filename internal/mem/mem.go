@@ -1,0 +1,52 @@
+// Package mem defines the address-space vocabulary shared by every memory
+// component: cacheline and page geometry, address helpers, and the split
+// between host DRAM and the CXL host-managed device memory (HDM) window.
+package mem
+
+// Addr is a physical (or, equivalently in this simulator, virtual) byte
+// address. Workload arenas are mapped one-to-one, so a single address type
+// suffices; the system package routes by address range and page table.
+type Addr uint64
+
+// Cacheline and flash-page geometry (Table II of the paper: 64 B lines,
+// 4 KB flash pages, 64 lines per page).
+const (
+	LineBytes     = 64
+	PageBytes     = 4096
+	LinesPerPage  = PageBytes / LineBytes // 64
+	LineShift     = 6
+	PageShift     = 12
+	LineInPageMsk = LinesPerPage - 1
+)
+
+// CXLBase is the start of the HDM window in the simulated physical address
+// space. Everything below is host DRAM; everything at or above is backed by
+// the CXL-SSD (unless the page has been promoted, which the system package
+// tracks in its page table).
+const CXLBase Addr = 1 << 40
+
+// Line returns the address truncated to its cacheline.
+func (a Addr) Line() Addr { return a &^ (LineBytes - 1) }
+
+// Page returns the address truncated to its page.
+func (a Addr) Page() Addr { return a &^ (PageBytes - 1) }
+
+// LineIndex returns the index of the address's cacheline within its page
+// (0..63).
+func (a Addr) LineIndex() uint { return uint(a>>LineShift) & LineInPageMsk }
+
+// PageNumber returns the page number (address / 4 KB).
+func (a Addr) PageNumber() uint64 { return uint64(a) >> PageShift }
+
+// LineNumber returns the line number (address / 64 B).
+func (a Addr) LineNumber() uint64 { return uint64(a) >> LineShift }
+
+// IsCXL reports whether the address falls in the HDM window.
+func (a Addr) IsCXL() bool { return a >= CXLBase }
+
+// KiB/MiB/GiB are convenience byte sizes for configuration literals.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)

@@ -1,0 +1,71 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinePageHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if a.Line() != 0x12340 {
+		t.Errorf("Line() = %#x, want 0x12340", a.Line())
+	}
+	if a.Page() != 0x12000 {
+		t.Errorf("Page() = %#x, want 0x12000", a.Page())
+	}
+	if a.LineIndex() != (0x345 >> 6) {
+		t.Errorf("LineIndex() = %d, want %d", a.LineIndex(), 0x345>>6)
+	}
+	if a.PageNumber() != 0x12 {
+		t.Errorf("PageNumber() = %d, want 0x12", a.PageNumber())
+	}
+	if a.LineNumber() != 0x12345>>6 {
+		t.Errorf("LineNumber() = %d", a.LineNumber())
+	}
+}
+
+func TestIsCXL(t *testing.T) {
+	if Addr(0).IsCXL() {
+		t.Error("address 0 should be host DRAM")
+	}
+	if !CXLBase.IsCXL() {
+		t.Error("CXLBase should be CXL")
+	}
+	if !(CXLBase + 123456).IsCXL() {
+		t.Error("CXLBase+delta should be CXL")
+	}
+}
+
+// Properties of the address decomposition: line/page truncation is
+// idempotent, a line belongs to its page, and LineIndex is consistent with
+// the line/page decomposition.
+func TestAddrDecompositionProperties(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		if a.Line().Line() != a.Line() || a.Page().Page() != a.Page() {
+			return false
+		}
+		if a.Line().Page() != a.Page() {
+			return false
+		}
+		if a.Page()+Addr(a.LineIndex()*LineBytes) != a.Line() {
+			return false
+		}
+		if a.LineNumber()*LineBytes != uint64(a.Line()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+	if 1<<LineShift != LineBytes || 1<<PageShift != PageBytes {
+		t.Fatal("shift constants inconsistent with byte sizes")
+	}
+}

@@ -1,0 +1,142 @@
+package migrate
+
+import (
+	"fmt"
+
+	"skybyte/internal/mem"
+)
+
+// Huge-page migration support (paper §IV, "Support for multiple page
+// sizes"): migrating a 2 MB huge page cannot use a flat PLB entry — its
+// 32,768 cachelines would need a 4 KB bitmap per entry. The paper extends
+// the PLB into a two-level structure: the first level holds a 64 B bitmap
+// marking which of the 512 4 KB chunks have migrated; the second level
+// holds one 8 B bitmap tracking the cachelines of the single chunk
+// currently under migration. The huge page moves chunk by chunk, so only
+// one second-level entry is live per huge page.
+
+// HugePageChunks is the number of 4 KB chunks in a 2 MB huge page.
+const HugePageChunks = 512
+
+// HugeEntry tracks one in-flight 2 MB huge-page migration.
+type HugeEntry struct {
+	// BasePage is the huge page's first 4 KB page number.
+	BasePage uint64
+	// chunkDone is the first-level 64 B bitmap: chunkDone[i]>>j marks
+	// chunk i*64+j fully migrated.
+	chunkDone [HugePageChunks / 64]uint64
+	// current is the chunk under migration, -1 if none.
+	current int32
+	// lineDone is the second-level 8 B bitmap for the current chunk.
+	lineDone uint64
+	done     int32 // chunks completed
+}
+
+// HugePLB tracks in-flight huge-page migrations with the paper's two-level
+// bitmap structure.
+type HugePLB struct {
+	capacity int
+	inflight map[uint64]*HugeEntry // keyed by base page
+}
+
+// NewHugePLB builds a huge-page PLB.
+func NewHugePLB(entries int) *HugePLB {
+	if entries <= 0 {
+		panic("migrate: huge PLB needs at least one entry")
+	}
+	return &HugePLB{capacity: entries, inflight: make(map[uint64]*HugeEntry)}
+}
+
+// EntryBytes reports the hardware cost of one entry: the 64 B first-level
+// bitmap plus the 8 B second-level bitmap (plus the base address and a
+// cursor) — versus the 4 KB flat bitmap §IV rules out.
+func EntryBytes() int { return 64 + 8 + 8 + 4 }
+
+// Begin starts migrating the 2 MB huge page whose first 4 KB page is
+// basePage (must be 512-page aligned). Returns false if the PLB is full or
+// the page is already migrating.
+func (p *HugePLB) Begin(basePage uint64) (*HugeEntry, bool) {
+	if basePage%HugePageChunks != 0 {
+		panic(fmt.Sprintf("migrate: huge page base %d not 2MB-aligned", basePage))
+	}
+	if p.inflight[basePage] != nil || len(p.inflight) >= p.capacity {
+		return nil, false
+	}
+	e := &HugeEntry{BasePage: basePage, current: -1}
+	p.inflight[basePage] = e
+	return e, true
+}
+
+// Lookup returns the in-flight entry covering page (a 4 KB page number),
+// if any.
+func (p *HugePLB) Lookup(page uint64) *HugeEntry {
+	return p.inflight[page-(page%HugePageChunks)]
+}
+
+// Complete removes the entry once all chunks migrated.
+func (p *HugePLB) Complete(basePage uint64) { delete(p.inflight, basePage) }
+
+// InFlight returns the number of huge pages mid-migration.
+func (p *HugePLB) InFlight() int { return len(p.inflight) }
+
+// StartChunk begins migrating chunk idx (0..511); at most one chunk is in
+// flight per huge page ("the PLB migrates the huge page chunk-by-chunk").
+func (e *HugeEntry) StartChunk(idx int) {
+	if idx < 0 || idx >= HugePageChunks {
+		panic("migrate: chunk index out of range")
+	}
+	if e.current >= 0 {
+		panic("migrate: a chunk is already migrating")
+	}
+	if e.ChunkDone(idx) {
+		panic("migrate: chunk already migrated")
+	}
+	e.current = int32(idx)
+	e.lineDone = 0
+}
+
+// MarkLine records that cacheline li (0..63) of the current chunk copied;
+// it reports whether the chunk just completed (all 64 lines).
+func (e *HugeEntry) MarkLine(li uint) bool {
+	if e.current < 0 {
+		panic("migrate: no chunk in flight")
+	}
+	e.lineDone |= 1 << (li & 63)
+	if e.lineDone == ^uint64(0) {
+		idx := int(e.current)
+		e.chunkDone[idx/64] |= 1 << (idx % 64)
+		e.current = -1
+		e.done++
+		return true
+	}
+	return false
+}
+
+// ChunkDone reports whether chunk idx has fully migrated.
+func (e *HugeEntry) ChunkDone(idx int) bool {
+	return e.chunkDone[idx/64]>>(idx%64)&1 == 1
+}
+
+// LineMigrated answers the PLB's forwarding question for a write to addr
+// (§III-C / §IV): has this cacheline's data already moved to the host? If
+// so the write must go to the host copy; otherwise the SSD still owns it.
+func (e *HugeEntry) LineMigrated(addr mem.Addr) bool {
+	page := addr.PageNumber()
+	idx := int(page - e.BasePage)
+	if idx < 0 || idx >= HugePageChunks {
+		return false
+	}
+	if e.ChunkDone(idx) {
+		return true
+	}
+	if e.current == int32(idx) {
+		return e.lineDone>>(addr.LineIndex()&63)&1 == 1
+	}
+	return false
+}
+
+// Done reports whether every chunk migrated.
+func (e *HugeEntry) Done() bool { return e.done == HugePageChunks }
+
+// Progress returns migrated chunks out of 512.
+func (e *HugeEntry) Progress() (migrated, total int) { return int(e.done), HugePageChunks }

@@ -1,0 +1,206 @@
+// Package migrate provides the host-side building blocks for SkyByte's
+// adaptive page migration (§III-C) and the alternative mechanisms of §VI-H:
+//
+//   - PLB: the Promotion Look-aside Buffer in the root complex that bounds
+//     and tracks in-flight promotions (64 entries of 24 B in the paper).
+//   - Pool: the promoted-page set in host DRAM with exact-LRU demotion
+//     victim selection (approximating Linux's active/inactive lists).
+//   - TPPSampler: TPP-style periodic hotness sampling (less accurate and
+//     laggier than SkyByte's per-access tracking, as §VI-H observes).
+//
+// The system package choreographs these with the controller and the CXL
+// link; AstriFlash's hardware-managed host page cache reuses cachesim with
+// 4 KB blocks.
+package migrate
+
+import "skybyte/internal/sim"
+
+// PLB bounds concurrent migrations, like the 64-entry Promotion Look-aside
+// Buffer in the host bridge.
+type PLB struct {
+	capacity int
+	inflight map[uint64]bool
+	// Rejected counts promotions declined because the PLB was full.
+	Rejected uint64
+}
+
+// NewPLB builds a PLB with the given entry count.
+func NewPLB(entries int) *PLB {
+	if entries <= 0 {
+		panic("migrate: PLB needs at least one entry")
+	}
+	return &PLB{capacity: entries, inflight: make(map[uint64]bool)}
+}
+
+// TryBegin reserves an entry for lpa; false if full or already migrating.
+func (p *PLB) TryBegin(lpa uint64) bool {
+	if p.inflight[lpa] {
+		return false
+	}
+	if len(p.inflight) >= p.capacity {
+		p.Rejected++
+		return false
+	}
+	p.inflight[lpa] = true
+	return true
+}
+
+// Complete releases lpa's entry.
+func (p *PLB) Complete(lpa uint64) { delete(p.inflight, lpa) }
+
+// InFlight returns the number of ongoing migrations.
+func (p *PLB) InFlight() int { return len(p.inflight) }
+
+// Migrating reports whether lpa has an in-flight promotion.
+func (p *PLB) Migrating(lpa uint64) bool { return p.inflight[lpa] }
+
+// Pool tracks promoted pages resident in host DRAM, in exact LRU order for
+// demotion ("finding a relatively cold page tracked by the active/inactive
+// list").
+type Pool struct {
+	capacity int
+	nodes    map[uint64]*poolNode
+	head     *poolNode // most recently used
+	tail     *poolNode // least recently used
+}
+
+type poolNode struct {
+	lpa        uint64
+	lastTouch  sim.Time
+	prev, next *poolNode
+}
+
+// NewPool builds a pool holding capacityPages pages.
+func NewPool(capacityPages int) *Pool {
+	if capacityPages <= 0 {
+		panic("migrate: pool needs capacity")
+	}
+	return &Pool{capacity: capacityPages, nodes: make(map[uint64]*poolNode)}
+}
+
+// Len returns the resident page count.
+func (p *Pool) Len() int { return len(p.nodes) }
+
+// Capacity returns the page capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Full reports whether an Add requires a demotion first.
+func (p *Pool) Full() bool { return len(p.nodes) >= p.capacity }
+
+// Contains reports residency.
+func (p *Pool) Contains(lpa uint64) bool { return p.nodes[lpa] != nil }
+
+// Add inserts lpa as most-recently-used. It panics if full — the caller
+// must demote first (Coldest/Remove).
+func (p *Pool) Add(lpa uint64, now sim.Time) {
+	if p.Full() {
+		panic("migrate: pool full; demote first")
+	}
+	if p.nodes[lpa] != nil {
+		p.Touch(lpa, now)
+		return
+	}
+	n := &poolNode{lpa: lpa, lastTouch: now}
+	p.nodes[lpa] = n
+	p.pushFront(n)
+}
+
+// Touch refreshes recency on access.
+func (p *Pool) Touch(lpa uint64, now sim.Time) {
+	n := p.nodes[lpa]
+	if n == nil {
+		return
+	}
+	n.lastTouch = now
+	p.unlink(n)
+	p.pushFront(n)
+}
+
+// Coldest returns the least-recently-used page, ok=false when empty.
+func (p *Pool) Coldest() (lpa uint64, ok bool) {
+	if p.tail == nil {
+		return 0, false
+	}
+	return p.tail.lpa, true
+}
+
+// Remove evicts lpa from the pool.
+func (p *Pool) Remove(lpa uint64) {
+	n := p.nodes[lpa]
+	if n == nil {
+		return
+	}
+	p.unlink(n)
+	delete(p.nodes, lpa)
+}
+
+func (p *Pool) pushFront(n *poolNode) {
+	n.prev = nil
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *Pool) unlink(n *poolNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// TPPSampler approximates TPP's NUMA-balancing-style hotness detection:
+// accesses are counted between periodic scans; a scan returns pages whose
+// count crossed the threshold and resets the window. Compared to SkyByte's
+// per-access tracking this reacts at scan granularity and forgets history,
+// reproducing the accuracy gap of §VI-H.
+type TPPSampler struct {
+	Interval  sim.Time
+	Threshold uint32
+	counts    map[uint64]uint32
+	lastScan  sim.Time
+}
+
+// NewTPPSampler builds a sampler.
+func NewTPPSampler(interval sim.Time, threshold uint32) *TPPSampler {
+	return &TPPSampler{Interval: interval, Threshold: threshold, counts: make(map[uint64]uint32)}
+}
+
+// Note records one access to a CXL page.
+func (s *TPPSampler) Note(lpa uint64) { s.counts[lpa]++ }
+
+// Scan returns promotion candidates (deterministically ordered by lpa) and
+// resets the sampling window.
+func (s *TPPSampler) Scan(now sim.Time) []uint64 {
+	var out []uint64
+	for lpa, c := range s.counts {
+		if c >= s.Threshold {
+			out = append(out, lpa)
+		}
+	}
+	s.counts = make(map[uint64]uint32)
+	s.lastScan = now
+	sortU64(out)
+	return out
+}
+
+func sortU64(s []uint64) {
+	// Insertion sort: candidate lists are short; avoids importing sort for
+	// a deterministic order.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package osched implements the host OS side of SkyByte's co-design: the
+// thread abstraction replayed by the CPU model, the run queue, and the
+// three CXL-aware scheduling policies the paper evaluates in Fig. 10 —
+// Round-Robin, Random, and CFS (Linux's Completely Fair Scheduler, the
+// default: "Since CFS has become a standard scheduling policy in modern
+// OSes like Linux, we employ it by default in SkyByte").
+package osched
+
+import (
+	"container/heap"
+
+	"skybyte/internal/sim"
+	"skybyte/internal/trace"
+)
+
+// Thread is one software thread: an instruction stream plus scheduling
+// state. The Replayer allows the CPU to rewind to a faulting load after a
+// SkyByte Long Delay Exception.
+type Thread struct {
+	ID     int
+	Name   string
+	Replay *trace.Replayer
+
+	// Warmup is the instruction count below which the thread's accesses
+	// are excluded from latency/AMAT statistics (state still warms).
+	Warmup uint64
+	// Progress is the highest instruction index retired; re-executed
+	// instructions after a rewind do not regress it.
+	Progress uint64
+	// VRuntime accumulates received execution time for the CFS policy.
+	VRuntime sim.Time
+	// Switches counts context switches this thread experienced.
+	Switches uint64
+	// Finished is set when the trace is fully retired.
+	Finished bool
+}
+
+// PastWarmup reports whether statistics should be recorded for the thread.
+func (t *Thread) PastWarmup() bool { return t.Progress >= t.Warmup }
+
+// Advance raises Progress to idx if it is higher.
+func (t *Thread) Advance(idx uint64) {
+	if idx > t.Progress {
+		t.Progress = idx
+	}
+}
+
+// PolicyKind selects a scheduling policy (artifact knob "t_policy").
+type PolicyKind string
+
+// Scheduling policies of Fig. 10.
+const (
+	PolicyRR     PolicyKind = "RR"
+	PolicyRandom PolicyKind = "RANDOM"
+	PolicyCFS    PolicyKind = "FAIRNESS"
+)
+
+// Policy is a run-queue ordering discipline.
+type Policy interface {
+	Name() PolicyKind
+	Enqueue(t *Thread)
+	// Pick removes and returns the next runnable thread, or nil.
+	Pick() *Thread
+	Len() int
+}
+
+// NewPolicy builds the named policy. Random is seeded deterministically.
+func NewPolicy(kind PolicyKind, seed uint64) Policy {
+	switch kind {
+	case PolicyRR:
+		return &rrPolicy{}
+	case PolicyRandom:
+		return &randomPolicy{rng: trace.NewRNG(seed)}
+	case PolicyCFS:
+		return &cfsPolicy{}
+	}
+	panic("osched: unknown policy " + string(kind))
+}
+
+type rrPolicy struct{ q []*Thread }
+
+func (p *rrPolicy) Name() PolicyKind  { return PolicyRR }
+func (p *rrPolicy) Enqueue(t *Thread) { p.q = append(p.q, t) }
+func (p *rrPolicy) Len() int          { return len(p.q) }
+func (p *rrPolicy) Pick() (t *Thread) {
+	if len(p.q) == 0 {
+		return nil
+	}
+	t = p.q[0]
+	copy(p.q, p.q[1:])
+	p.q = p.q[:len(p.q)-1]
+	return t
+}
+
+type randomPolicy struct {
+	q   []*Thread
+	rng *trace.RNG
+}
+
+func (p *randomPolicy) Name() PolicyKind  { return PolicyRandom }
+func (p *randomPolicy) Enqueue(t *Thread) { p.q = append(p.q, t) }
+func (p *randomPolicy) Len() int          { return len(p.q) }
+func (p *randomPolicy) Pick() *Thread {
+	if len(p.q) == 0 {
+		return nil
+	}
+	i := p.rng.Intn(len(p.q))
+	t := p.q[i]
+	p.q[i] = p.q[len(p.q)-1]
+	p.q = p.q[:len(p.q)-1]
+	return t
+}
+
+// cfsPolicy picks the thread with the minimum received execution time
+// (VRuntime), ties broken by thread ID for determinism.
+type cfsPolicy struct{ h cfsHeap }
+
+func (p *cfsPolicy) Name() PolicyKind  { return PolicyCFS }
+func (p *cfsPolicy) Enqueue(t *Thread) { heap.Push(&p.h, t) }
+func (p *cfsPolicy) Len() int          { return len(p.h) }
+func (p *cfsPolicy) Pick() *Thread {
+	if len(p.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&p.h).(*Thread)
+}
+
+type cfsHeap []*Thread
+
+func (h cfsHeap) Len() int { return len(h) }
+func (h cfsHeap) Less(i, j int) bool {
+	if h[i].VRuntime != h[j].VRuntime {
+		return h[i].VRuntime < h[j].VRuntime
+	}
+	return h[i].ID < h[j].ID
+}
+func (h cfsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cfsHeap) Push(x interface{}) { *h = append(*h, x.(*Thread)) }
+func (h *cfsHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Switches uint64 // context switches performed (thread replaced on a core)
+	Enqueues uint64
+}
+
+// Scheduler owns the run queue shared by all cores. A core that goes idle
+// registers a waiter and is woken when a thread becomes runnable.
+type Scheduler struct {
+	eng        *sim.Engine
+	policy     Policy
+	SwitchCost sim.Time // Table II: 2 µs
+	waiters    []func()
+	stats      Stats
+}
+
+// New builds a scheduler with the given policy.
+func New(eng *sim.Engine, policy Policy, switchCost sim.Time) *Scheduler {
+	return &Scheduler{eng: eng, policy: policy, SwitchCost: switchCost}
+}
+
+// Stats returns a copy of the counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Policy returns the active policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Runnable returns the run-queue length.
+func (s *Scheduler) Runnable() int { return s.policy.Len() }
+
+// Enqueue makes t runnable ("the yield thread is re-enqueued back to the
+// run queue in OS, allowing it to be scheduled again later"). Idle cores
+// are woken.
+func (s *Scheduler) Enqueue(t *Thread) {
+	s.stats.Enqueues++
+	s.policy.Enqueue(t)
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		s.eng.After(0, w)
+	}
+}
+
+// Pick removes and returns the next thread per policy, nil if none.
+func (s *Scheduler) Pick() *Thread { return s.policy.Pick() }
+
+// Switch implements one coordinated context switch decision: the current
+// thread (may be nil if it finished) yields, and the policy picks the next.
+// If the queue is empty the current thread is handed back (a switch to
+// yourself — the cost is still paid, as the exception already fired).
+func (s *Scheduler) Switch(current *Thread) *Thread {
+	s.stats.Switches++
+	if current != nil {
+		s.Enqueue(current)
+	}
+	return s.Pick()
+}
+
+// WaitReady registers a callback to fire when a thread becomes runnable
+// (idle-core wakeup).
+func (s *Scheduler) WaitReady(wake func()) { s.waiters = append(s.waiters, wake) }

@@ -1,0 +1,117 @@
+package sim
+
+// Engine is a deterministic discrete-event simulator.
+//
+// Events are closures scheduled for an absolute time. Events scheduled for
+// the same instant fire in the order they were scheduled. The zero value is
+// ready to use.
+type Engine struct {
+	now    Time
+	heap   []event
+	seq    uint64
+	fired  uint64
+	inStep bool
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (a determinism probe
+// and a cheap progress metric).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events not yet executed.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.heap = append(e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.up(len(e.heap) - 1)
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the single earliest pending event and reports whether one
+// existed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.down(0)
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if it has not already passed it).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at {
+		return e.heap[i].at < e.heap[j].at
+	}
+	return e.heap[i].seq < e.heap[j].seq
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.less(i, p) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e.less(l, m) {
+			m = l
+		}
+		if r < n && e.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{250 * Picosecond, "250ps"},
+		{3 * Microsecond, "3µs"},
+		{100 * Microsecond, "100µs"},
+		{Millisecond, "1ms"},
+		{2 * Second, "2s"},
+		{-Microsecond, "-1µs"},
+		{70 * Nanosecond, "70ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Nanosecond).Microseconds(); got != 1.5 {
+		t.Errorf("Microseconds = %v, want 1.5", got)
+	}
+	if got := (2 * Millisecond).Seconds(); got != 0.002 {
+		t.Errorf("Seconds = %v, want 0.002", got)
+	}
+	if got := (3 * Microsecond).Nanoseconds(); got != 3000 {
+		t.Errorf("Nanoseconds = %v, want 3000", got)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO at index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var got []Time
+	e.At(10, func() {
+		got = append(got, e.Now())
+		e.After(5, func() { got = append(got, e.Now()) })
+		e.At(12, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 12, 15}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(100)
+	if fired != 3 || e.Now() != 100 {
+		t.Fatalf("after final RunUntil: fired=%d now=%v", fired, e.Now())
+	}
+}
+
+// Property: for any set of scheduled times, the engine fires events in
+// non-decreasing time order and ends with Now() == max time.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var e Engine
+		var fired []Time
+		for _, ti := range times {
+			at := Time(ti)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: heap behaves like a sorted multiset under random interleaving of
+// scheduling (always in the future) and stepping.
+func TestEngineRandomInterleaving(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var e Engine
+	var fired []Time
+	pending := 0
+	for op := 0; op < 5000; op++ {
+		if pending == 0 || rng.Intn(2) == 0 {
+			at := e.Now() + Time(rng.Intn(1000))
+			e.At(at, func() { fired = append(fired, e.Now()) })
+			pending++
+		} else {
+			e.Step()
+			pending--
+		}
+	}
+	e.Run()
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatal("events fired out of order under random interleaving")
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1024; j++ {
+			e.At(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}

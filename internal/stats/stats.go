@@ -1,0 +1,239 @@
+// Package stats provides the measurement vocabulary for the simulator:
+// latency histograms with percentile queries (Fig. 3), execution-time
+// boundedness breakdowns (Figs. 4 and 10), memory-request breakdowns
+// (Fig. 16), AMAT component accounting (Fig. 17), and flash-traffic counters
+// (Figs. 18 and 20).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skybyte/internal/sim"
+)
+
+// LatencyHist is a logarithmic histogram of latencies. Buckets are
+// sub-divided powers of two between 1 ns and ~17 ms, which comfortably spans
+// L1 hits through garbage-collection tails.
+type LatencyHist struct {
+	buckets [bucketCount]uint64
+	count   uint64
+	sum     sim.Time
+	max     sim.Time
+}
+
+const (
+	subBuckets  = 8 // sub-buckets per power of two
+	maxExp      = 24
+	bucketCount = maxExp * subBuckets
+)
+
+func bucketOf(d sim.Time) int {
+	ns := d / sim.Nanosecond
+	if ns < 1 {
+		ns = 1
+	}
+	exp := 63 - leadingZeros(uint64(ns))
+	if exp >= maxExp {
+		return bucketCount - 1
+	}
+	frac := 0
+	if exp > 0 {
+		frac = int((uint64(ns) - 1<<uint(exp)) * subBuckets >> uint(exp))
+	}
+	return exp*subBuckets + frac
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketLow returns the lower bound latency of bucket i.
+func bucketLow(i int) sim.Time {
+	exp := i / subBuckets
+	frac := i % subBuckets
+	base := sim.Time(1) << uint(exp)
+	return (base + base*sim.Time(frac)/subBuckets) * sim.Nanosecond
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d sim.Time) {
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (h *LatencyHist) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Max returns the largest recorded sample.
+func (h *LatencyHist) Max() sim.Time { return h.max }
+
+// Sum returns the total of all samples.
+func (h *LatencyHist) Sum() sim.Time { return h.sum }
+
+// Percentile returns an estimate of the p-th percentile (0 < p <= 100).
+func (h *LatencyHist) Percentile(p float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// FractionBelow returns the fraction of samples strictly in buckets whose
+// lower bound is below d.
+func (h *LatencyHist) FractionBelow(d sim.Time) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	var below uint64
+	for i, c := range h.buckets {
+		if bucketLow(i) >= d {
+			break
+		}
+		below += c
+	}
+	return float64(below) / float64(h.count)
+}
+
+// CDFPoints returns (latency, cumulative fraction) pairs for non-empty
+// buckets, suitable for plotting Fig. 3-style distributions.
+func (h *LatencyHist) CDFPoints() []CDFPoint {
+	var out []CDFPoint
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, CDFPoint{Value: float64(bucketLow(i)) / float64(sim.Nanosecond), Cum: float64(cum) / float64(h.count)})
+	}
+	return out
+}
+
+// Reset clears all samples.
+func (h *LatencyHist) Reset() { *h = LatencyHist{} }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value float64 // sample value (units depend on producer)
+	Cum   float64 // cumulative fraction in (0,1]
+}
+
+// Ratio renders a/b with a guard for b == 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// GeoMean returns the geometric mean of xs (ignoring non-positive values),
+// matching the paper's "geo. mean" columns.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Distribution summarises a set of float samples (used for per-page
+// locality ratios in Figs. 5–6).
+type Distribution struct {
+	Samples []float64
+}
+
+// Add records one sample.
+func (d *Distribution) Add(x float64) { d.Samples = append(d.Samples, x) }
+
+// CDF returns the empirical CDF of the samples, sorted ascending.
+func (d *Distribution) CDF() []CDFPoint {
+	if len(d.Samples) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), d.Samples...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, Cum: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// FractionAtOrBelow returns the fraction of samples <= x.
+func (d *Distribution) FractionAtOrBelow(x float64) float64 {
+	if len(d.Samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range d.Samples {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Samples))
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (d *Distribution) Mean() float64 {
+	if len(d.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range d.Samples {
+		sum += v
+	}
+	return sum / float64(len(d.Samples))
+}
+
+// FormatGB renders a byte count as "X.XXGB"-style text.
+func FormatGB(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"skybyte/internal/sim"
+)
+
+func TestLatencyHistBasics(t *testing.T) {
+	var h LatencyHist
+	h.Observe(100 * sim.Nanosecond)
+	h.Observe(200 * sim.Nanosecond)
+	h.Observe(300 * sim.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200*sim.Nanosecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 300*sim.Nanosecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if h.Sum() != 600*sim.Nanosecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestLatencyHistPercentiles(t *testing.T) {
+	var h LatencyHist
+	// 90 fast samples, 10 slow samples: p50 should be fast, p99 slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * sim.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * sim.Microsecond)
+	}
+	p50 := h.Percentile(50)
+	p99 := h.Percentile(99)
+	if p50 > 200*sim.Nanosecond {
+		t.Errorf("p50 = %v, want ~100ns", p50)
+	}
+	if p99 < sim.Microsecond {
+		t.Errorf("p99 = %v, want >=1µs", p99)
+	}
+	if got := h.FractionBelow(sim.Microsecond); math.Abs(got-0.9) > 0.02 {
+		t.Errorf("FractionBelow(1µs) = %v, want ~0.9", got)
+	}
+}
+
+func TestLatencyHistCDFMonotone(t *testing.T) {
+	f := func(samples []uint32) bool {
+		var h LatencyHist
+		for _, s := range samples {
+			h.Observe(sim.Time(s) * sim.Nanosecond)
+		}
+		pts := h.CDFPoints()
+		prevV, prevC := -1.0, 0.0
+		for _, p := range pts {
+			if p.Value <= prevV || p.Cum < prevC {
+				return false
+			}
+			prevV, prevC = p.Value, p.Cum
+		}
+		if len(samples) > 0 && len(pts) > 0 && math.Abs(pts[len(pts)-1].Cum-1.0) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var h LatencyHist
+		for _, s := range samples {
+			h.Observe(sim.Time(s) * sim.Nanosecond)
+		}
+		prev := sim.Time(0)
+		for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(100) <= h.Max() || h.Count() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	var h LatencyHist
+	h.Observe(sim.Microsecond)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Error("GeoMean of non-positive values should be 0")
+	}
+}
+
+func TestBoundedness(t *testing.T) {
+	b := Boundedness{Compute: 25, MemStall: 50, CtxSwitch: 25}
+	if b.Total() != 100 {
+		t.Fatal("Total")
+	}
+	if b.MemFrac() != 0.5 || b.ComputeFrac() != 0.25 || b.CtxFrac() != 0.25 {
+		t.Fatal("fractions wrong")
+	}
+	var zero Boundedness
+	if zero.MemFrac() != 0 {
+		t.Fatal("zero boundedness should have 0 fractions")
+	}
+	b.Add(Boundedness{Compute: 75})
+	if b.Compute != 100 {
+		t.Fatal("Add")
+	}
+}
+
+func TestRequestBreakdown(t *testing.T) {
+	var r RequestBreakdown
+	r.Inc(HostRW)
+	r.Inc(SSDReadHit)
+	r.Inc(SSDReadHit)
+	r.Inc(SSDWrite)
+	if r.Total() != 4 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if r.Frac(SSDReadHit) != 0.5 {
+		t.Fatalf("Frac = %v", r.Frac(SSDReadHit))
+	}
+	if HostRW.String() != "H-R/W" || SSDReadMiss.String() != "S-R-M" {
+		t.Fatal("class labels wrong")
+	}
+}
+
+func TestAMAT(t *testing.T) {
+	var a AMAT
+	a.AddAccess([5]sim.Time{70 * sim.Nanosecond, 0, 0, 0, 0})
+	a.AddAccess([5]sim.Time{0, 40 * sim.Nanosecond, 72 * sim.Nanosecond, 50 * sim.Nanosecond, 3 * sim.Microsecond})
+	if a.Accesses != 2 {
+		t.Fatal("accesses")
+	}
+	want := (70*sim.Nanosecond + 40*sim.Nanosecond + 72*sim.Nanosecond + 50*sim.Nanosecond + 3*sim.Microsecond) / 2
+	if a.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", a.Mean(), want)
+	}
+	if a.MeanOf(AMATHostDRAM) != 35*sim.Nanosecond {
+		t.Fatalf("MeanOf(host) = %v", a.MeanOf(AMATHostDRAM))
+	}
+	if AMATFlash.String() != "Flash" || AMATIndexing.String() != "Indexing" {
+		t.Fatal("labels")
+	}
+}
+
+func TestFlashTraffic(t *testing.T) {
+	f := FlashTraffic{HostPrograms: 1, CompactWrites: 2, GCPrograms: 3, DemoteWrites: 4,
+		HostReads: 5, PrefetchReads: 6, CompactReads: 7, GCReads: 8}
+	if f.TotalPrograms() != 10 {
+		t.Fatalf("TotalPrograms = %d", f.TotalPrograms())
+	}
+	if f.TotalReads() != 26 {
+		t.Fatalf("TotalReads = %d", f.TotalReads())
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{0.1, 0.5, 0.9, 0.3} {
+		d.Add(v)
+	}
+	cdf := d.CDF()
+	if len(cdf) != 4 {
+		t.Fatal("cdf length")
+	}
+	if cdf[0].Value != 0.1 || cdf[3].Value != 0.9 || cdf[3].Cum != 1.0 {
+		t.Fatalf("cdf = %+v", cdf)
+	}
+	if got := d.FractionAtOrBelow(0.4); got != 0.5 {
+		t.Fatalf("FractionAtOrBelow = %v", got)
+	}
+	if math.Abs(d.Mean()-0.45) > 1e-12 {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+}
+
+func TestFormatGB(t *testing.T) {
+	if FormatGB(1<<30) != "1.00GB" || FormatGB(512<<20) != "512.00MB" ||
+		FormatGB(2048) != "2.00KB" || FormatGB(12) != "12B" {
+		t.Fatal("FormatGB broken")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio broken")
+	}
+}

@@ -1,0 +1,118 @@
+package system
+
+import (
+	"skybyte/internal/core"
+	"skybyte/internal/cpu"
+	"skybyte/internal/cxl"
+	"skybyte/internal/flash"
+	"skybyte/internal/ftl"
+	"skybyte/internal/sim"
+	"skybyte/internal/stats"
+)
+
+// Result carries every measurement the evaluation consumes.
+type Result struct {
+	Variant string
+
+	// ExecTime is when the last thread retired its final instruction.
+	ExecTime sim.Time
+	// Instructions is the total retired (each thread's trace length).
+	Instructions uint64
+
+	Bound     stats.Boundedness      // Figs. 4 and 10
+	Breakdown stats.RequestBreakdown // Fig. 16
+	AMAT      stats.AMAT             // Fig. 17
+	ReadLat   stats.LatencyHist      // Fig. 3
+	FlashLat  stats.LatencyHist      // Table III
+
+	Traffic    stats.FlashTraffic // Figs. 18 and 20 (controller + GC merged)
+	FTLStats   ftl.Stats
+	FlashStats flash.Stats
+	LinkStats  cxl.Stats
+	CacheStats core.PageCacheStats
+	Compaction core.CompactionStats
+
+	CtxSwitches  uint64 // all context switches performed by cores
+	HintSwitches uint64 // those caused by SkyByte-Delay
+	HintsSent    uint64 // NDR SkyByte-Delay messages from the device
+	Migration    MigrationStats
+
+	LLCMisses        uint64
+	MPKI             float64 // LLC misses per kilo-instruction
+	LogIndexPeak     int     // peak write-log index footprint, bytes
+	SSDBandwidthBps  float64 // delivered CXL link goodput
+	FlashUtilization float64
+
+	// Locality CDFs (Figs. 5–6) when TrackLocality was on.
+	ReadLocality  []stats.CDFPoint
+	WriteLocality []stats.CDFPoint
+}
+
+// IPS returns retired instructions per second of simulated time.
+func (r *Result) IPS() float64 {
+	secs := r.ExecTime.Seconds()
+	if secs == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / secs
+}
+
+// Speedup returns base.ExecTime / r.ExecTime.
+func (r *Result) Speedup(base *Result) float64 {
+	if r.ExecTime == 0 {
+		return 0
+	}
+	return float64(base.ExecTime) / float64(r.ExecTime)
+}
+
+func (s *System) collect() *Result {
+	r := &Result{Variant: s.cfg.Name, ExecTime: s.lastDone}
+	var instr uint64
+	for _, t := range s.threads {
+		instr += t.Progress
+	}
+	r.Instructions = instr
+
+	for _, c := range s.cores {
+		r.Bound.Add(c.Stats.Bound)
+		r.CtxSwitches += c.Stats.Switches
+		r.HintSwitches += c.Stats.HintSwitches
+		r.LLCMisses += c.Stats.LLCMisses
+	}
+	if instr > 0 {
+		r.MPKI = float64(r.LLCMisses) / float64(instr) * 1000
+	}
+
+	r.Breakdown = s.breakdown
+	r.AMAT = s.amat
+	r.ReadLat = s.readLat
+	r.FlashLat = s.flashLat
+	r.HintsSent = s.hints
+	r.Migration = s.migr
+
+	r.Traffic = s.ctrl.Traffic
+	fs := s.fl.Stats()
+	r.Traffic.GCReads = fs.GCReads
+	r.Traffic.GCPrograms = fs.GCPrograms
+	r.Traffic.Erases = fs.Erases
+	r.Traffic.GCInvocations = fs.GCInvocations
+	r.FTLStats = fs
+	r.FlashStats = s.arr.Stats()
+	r.LinkStats = s.link.Stats()
+	r.CacheStats = s.ctrl.Cache().Stats
+	r.Compaction = s.ctrl.Compaction
+	if logs := s.ctrl.Logs(); logs[0] != nil {
+		r.LogIndexPeak = logs[0].Stats().PeakIndex + logs[1].Stats().PeakIndex
+	}
+	if secs := s.lastDone.Seconds(); secs > 0 {
+		r.SSDBandwidthBps = float64(r.LinkStats.ToDeviceBytes+r.LinkStats.ToHostBytes) / secs
+	}
+	r.FlashUtilization = s.arr.Utilization()
+	if s.cfg.TrackLocality {
+		r.ReadLocality = s.ctrl.Cache().ReadLocality.CDF()
+		r.WriteLocality = s.ctrl.WriteLocality.CDF()
+	}
+	return r
+}
+
+var _ cpu.Backend = (*System)(nil)

@@ -1,0 +1,449 @@
+package system
+
+import (
+	"skybyte/internal/cachesim"
+	"skybyte/internal/core"
+	"skybyte/internal/cpu"
+	"skybyte/internal/cxl"
+	"skybyte/internal/dram"
+	"skybyte/internal/flash"
+	"skybyte/internal/ftl"
+	"skybyte/internal/mem"
+	"skybyte/internal/migrate"
+	"skybyte/internal/osched"
+	"skybyte/internal/sim"
+	"skybyte/internal/stats"
+	"skybyte/internal/trace"
+)
+
+// MigrationStats counts page movement between the tiers.
+type MigrationStats struct {
+	Promotions uint64
+	Demotions  uint64
+}
+
+// System is one fully wired simulated machine.
+type System struct {
+	Eng sim.Engine
+	cfg Config
+
+	cores []*cpu.Core
+	llc   *cachesim.Cache
+	sched *osched.Scheduler
+
+	link     *cxl.Link
+	hostDRAM *dram.DRAM
+	ssdDRAM  *dram.DRAM
+	arr      *flash.Array
+	fl       *ftl.FTL
+	ctrl     *core.Controller
+
+	threads  []*osched.Thread
+	finished int
+	lastDone sim.Time
+
+	// Tiering state.
+	promoted  map[uint64][]byte // lpa -> host copy (payload nil unless tracking)
+	pool      *migrate.Pool
+	plb       *migrate.PLB
+	tpp       *migrate.TPPSampler
+	astri     *cachesim.Cache
+	astriIn   map[mem.Addr]*astriFetch
+	promoteQ  []uint64
+	promoting bool
+
+	// Measurements.
+	breakdown stats.RequestBreakdown
+	amat      stats.AMAT
+	readLat   stats.LatencyHist
+	flashLat  stats.LatencyHist
+	migr      MigrationStats
+	hints     uint64
+}
+
+type astriFetch struct{ writeAccepts []func() }
+
+// New wires a system from cfg.
+func New(cfg Config) *System {
+	s := &System{cfg: cfg, promoted: make(map[uint64][]byte)}
+	s.link = cxl.New(&s.Eng, cfg.Link)
+	s.hostDRAM = dram.New(&s.Eng, cfg.HostDRAM)
+	s.ssdDRAM = dram.New(&s.Eng, cfg.SSDDRAM)
+	s.arr = flash.New(&s.Eng, cfg.Geometry, cfg.Timing)
+	s.fl = ftl.New(&s.Eng, s.arr, cfg.FTL)
+	s.fl.Precondition(cfg.PreconditionFill, cfg.PreconditionRewrit, cfg.Seed)
+	s.ctrl = core.New(&s.Eng, cfg.controllerConfig(), s.arr, s.fl, s.ssdDRAM)
+
+	s.sched = osched.New(&s.Eng, osched.NewPolicy(cfg.Policy, cfg.PolicySeed), cfg.CtxSwitchCost)
+	s.llc = cachesim.New(cachesim.Config{Name: "llc", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays})
+	for i := 0; i < cfg.Cores; i++ {
+		l1 := cachesim.New(cachesim.Config{Name: "l1", SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways})
+		l2 := cachesim.New(cachesim.Config{Name: "l2", SizeBytes: cfg.L2Bytes, Ways: cfg.L2Ways})
+		c := cpu.New(&s.Eng, i, cfg.CPU, l1, l2, s.llc, s, s.sched)
+		c.OnThreadFinished = s.onThreadFinished
+		s.cores = append(s.cores, c)
+	}
+
+	switch cfg.Migration {
+	case MigrationAdaptive:
+		s.initPromotionPool()
+		s.ctrl.OnPromoteCandidate = s.promoteCandidate
+	case MigrationTPP:
+		s.initPromotionPool()
+		s.tpp = migrate.NewTPPSampler(cfg.TPPScanInterval, cfg.TPPThreshold)
+	case MigrationAstri:
+		s.astri = cachesim.New(cachesim.Config{
+			Name: "astri", SizeBytes: cfg.PromotedMaxBytes,
+			Ways: cfg.AstriWays, LineBytes: mem.PageBytes,
+		})
+		s.astriIn = make(map[mem.Addr]*astriFetch)
+	}
+	return s
+}
+
+func (s *System) initPromotionPool() {
+	pages := s.cfg.PromotedMaxBytes / mem.PageBytes
+	if pages < 1 {
+		pages = 1
+	}
+	s.pool = migrate.NewPool(pages)
+	s.plb = migrate.NewPLB(s.cfg.PLBEntries)
+}
+
+// Controller exposes the SSD controller (traffic counters, compaction and
+// locality statistics).
+func (s *System) Controller() *core.Controller { return s.ctrl }
+
+// FTL exposes the translation layer.
+func (s *System) FTL() *ftl.FTL { return s.fl }
+
+// Flash exposes the array.
+func (s *System) Flash() *flash.Array { return s.arr }
+
+// Link exposes the CXL link.
+func (s *System) Link() *cxl.Link { return s.link }
+
+// Scheduler exposes the OS scheduler.
+func (s *System) Scheduler() *osched.Scheduler { return s.sched }
+
+// Cores exposes the CPU cores (per-core statistics).
+func (s *System) Cores() []*cpu.Core { return s.cores }
+
+// AddThread registers one software thread replaying stream, truncated to
+// totalInstr instructions. The leading WarmupFrac fraction is excluded from
+// latency statistics.
+func (s *System) AddThread(stream trace.Stream, totalInstr uint64) *osched.Thread {
+	t := &osched.Thread{
+		ID:     len(s.threads),
+		Replay: trace.NewReplayer(&trace.Limited{Src: stream, Budget: totalInstr}),
+		Warmup: uint64(s.cfg.WarmupFrac * float64(totalInstr)),
+	}
+	s.threads = append(s.threads, t)
+	return t
+}
+
+func (s *System) onThreadFinished(t *osched.Thread, at sim.Time) {
+	s.finished++
+	if at > s.lastDone {
+		s.lastDone = at
+	}
+}
+
+func (s *System) allDone() bool { return s.finished >= len(s.threads) }
+
+// Run executes until every thread retires, then drains background work and
+// returns the collected measurements.
+func (s *System) Run() *Result {
+	for _, t := range s.threads {
+		s.sched.Enqueue(t)
+	}
+	for _, c := range s.cores {
+		c.Start()
+	}
+	if s.tpp != nil {
+		s.Eng.After(s.cfg.TPPScanInterval, s.tppScan)
+	}
+	s.Eng.Run()
+	return s.collect()
+}
+
+// --- address helpers ---
+
+func cxlOffset(a mem.Addr) uint64 { return uint64(a - mem.CXLBase) }
+func cxlPage(a mem.Addr) uint64   { return cxlOffset(a) >> mem.PageShift }
+
+// --- cpu.Backend ---
+
+// Read routes a demand cacheline read: host DRAM, promoted page, the
+// AstriFlash host cache, or over CXL to the SSD controller.
+func (s *System) Read(req *cpu.ReadReq) {
+	a := req.Addr
+	if !a.IsCXL() || s.cfg.DRAMOnly {
+		s.hostRead(req, a)
+		return
+	}
+	lpa := cxlPage(a)
+	if _, ok := s.promoted[lpa]; ok {
+		s.pool.Touch(lpa, s.Eng.Now())
+		s.hostRead(req, a)
+		return
+	}
+	if s.tpp != nil {
+		s.tpp.Note(lpa)
+	}
+	if s.astri != nil {
+		s.astriRead(req, a)
+		return
+	}
+	t0 := s.Eng.Now()
+	s.link.ToDevice(cxl.HeaderBytes, func() {
+		// Re-check at device arrival: the page may have been promoted
+		// while the request was in flight (the PLB forwards such cases).
+		if _, ok := s.promoted[lpa]; ok {
+			s.link.ToHost(cxl.HeaderBytes, func() { s.hostRead(req, a) })
+			return
+		}
+		var hint func(sim.Time)
+		if s.cfg.CtxSwitchEnabled {
+			hint = func(est sim.Time) {
+				s.hints++
+				s.link.ToHost(cxl.HeaderBytes, func() { req.OnHint() })
+			}
+		}
+		s.ctrl.MemRd(cxlOffset(a), req.Record, func(meta core.ReadMeta) {
+			s.link.ToHost(cxl.DataBytes, func() {
+				if req.Record && !req.Squashed {
+					lat := s.Eng.Now() - t0
+					s.readLat.Observe(lat)
+					s.breakdown.Inc(meta.Class)
+					proto := lat - meta.Index - meta.SSDDRAM - meta.Flash
+					if proto < 0 {
+						proto = 0
+					}
+					s.amat.AddAccess([5]sim.Time{0, proto, meta.Index, meta.SSDDRAM, meta.Flash})
+					if meta.Class == stats.SSDReadMiss {
+						s.flashLat.Observe(meta.Flash)
+					}
+				}
+				req.OnData()
+			})
+		}, hint)
+	})
+}
+
+// Write routes a cacheline writeback.
+func (s *System) Write(a mem.Addr, coreID int, record bool, accepted func()) {
+	if !a.IsCXL() || s.cfg.DRAMOnly {
+		s.hostWrite(a, record, accepted)
+		return
+	}
+	lpa := cxlPage(a)
+	if _, ok := s.promoted[lpa]; ok {
+		s.pool.Touch(lpa, s.Eng.Now())
+		s.hostWrite(a, record, accepted)
+		return
+	}
+	if s.tpp != nil {
+		s.tpp.Note(lpa)
+	}
+	if s.astri != nil {
+		s.astriWrite(a, record, accepted)
+		return
+	}
+	s.link.ToDevice(cxl.DataBytes, func() {
+		if _, ok := s.promoted[lpa]; ok {
+			s.hostWrite(a, record, accepted)
+			return
+		}
+		s.ctrl.MemWr(cxlOffset(a), nil, record, func() {
+			if record {
+				s.breakdown.Inc(stats.SSDWrite)
+			}
+			// Credit returns to the host over the response channel.
+			s.link.ToHost(cxl.HeaderBytes, accepted)
+		})
+	})
+}
+
+func (s *System) hostRead(req *cpu.ReadReq, a mem.Addr) {
+	t0 := s.Eng.Now()
+	s.hostDRAM.Access(a, false, func() {
+		if req.Record && !req.Squashed {
+			lat := s.Eng.Now() - t0
+			s.readLat.Observe(lat)
+			s.breakdown.Inc(stats.HostRW)
+			s.amat.AddAccess([5]sim.Time{lat, 0, 0, 0, 0})
+		}
+		req.OnData()
+	})
+}
+
+func (s *System) hostWrite(a mem.Addr, record bool, accepted func()) {
+	s.hostDRAM.Access(a, true, func() {
+		if record {
+			s.breakdown.Inc(stats.HostRW)
+		}
+		accepted()
+	})
+}
+
+// --- adaptive promotion (§III-C) ---
+
+func (s *System) promoteCandidate(lpa uint64) {
+	if !s.plb.TryBegin(lpa) {
+		return
+	}
+	if !s.ctrl.MarkMigrating(lpa) {
+		s.plb.Complete(lpa)
+		return
+	}
+	// Promotions serialise through the host's MSI-X handler: one interrupt
+	// is serviced at a time, bounding the promotion rate the way a real
+	// kernel does.
+	s.promoteQ = append(s.promoteQ, lpa)
+	s.drainPromotions()
+}
+
+func (s *System) drainPromotions() {
+	if s.promoting || len(s.promoteQ) == 0 {
+		return
+	}
+	s.promoting = true
+	lpa := s.promoteQ[0]
+	s.promoteQ = s.promoteQ[1:]
+	// MSI-X interrupt to the host, then the OS allocates a physical page
+	// and the 64 cachelines copy over the CXL link.
+	s.Eng.After(s.cfg.MSIXCost, func() {
+		s.link.ToHost(mem.LinesPerPage*cxl.DataBytes, func() {
+			s.completePromotion(lpa)
+			s.promoting = false
+			s.drainPromotions()
+		})
+	})
+}
+
+func (s *System) completePromotion(lpa uint64) {
+	data, ok := s.ctrl.FinishMigration(lpa)
+	if !ok {
+		s.plb.Complete(lpa)
+		return
+	}
+	if s.pool.Full() {
+		s.demoteColdest()
+	}
+	s.promoted[lpa] = data
+	s.pool.Add(lpa, s.Eng.Now())
+	s.plb.Complete(lpa)
+	s.migr.Promotions++
+	// PTE update, then a TLB shootdown interrupts every core.
+	s.Eng.After(s.cfg.PTEUpdateCost, func() {
+		for _, c := range s.cores {
+			c.InjectStall(s.cfg.TLBShootdown)
+		}
+	})
+}
+
+// demoteColdest evicts the LRU promoted page back to the SSD through the
+// normal write path (a full-page copy).
+func (s *System) demoteColdest() {
+	lpa, ok := s.pool.Coldest()
+	if !ok {
+		return
+	}
+	data := s.promoted[lpa]
+	s.pool.Remove(lpa)
+	delete(s.promoted, lpa)
+	s.migr.Demotions++
+	s.link.ToDevice(mem.LinesPerPage*cxl.DataBytes, func() {
+		s.ctrl.WritePage(lpa, data, nil)
+	})
+}
+
+// --- TPP-style promotion (§VI-H) ---
+
+func (s *System) tppScan() {
+	if s.allDone() {
+		return
+	}
+	for _, lpa := range s.tpp.Scan(s.Eng.Now()) {
+		if _, ok := s.promoted[lpa]; ok {
+			continue
+		}
+		if !s.plb.TryBegin(lpa) {
+			break
+		}
+		lpa := lpa
+		// TPP promotes regardless of SSD DRAM residency, so a promotion
+		// may first pull the page from flash.
+		s.ctrl.FetchPage(lpa, func() {
+			if !s.ctrl.MarkMigrating(lpa) {
+				s.plb.Complete(lpa)
+				return
+			}
+			s.link.ToHost(mem.LinesPerPage*cxl.DataBytes, func() {
+				s.completePromotion(lpa)
+			})
+		})
+	}
+	s.Eng.After(s.cfg.TPPScanInterval, s.tppScan)
+}
+
+// --- AstriFlash-style host page cache (§VI-H) ---
+
+func (s *System) astriRead(req *cpu.ReadReq, a mem.Addr) {
+	page := a.Page()
+	if s.astri.Access(page, false) {
+		s.hostRead(req, a)
+		return
+	}
+	s.astriMiss(page, req.Record)
+	// A host-cache miss triggers a user-level thread switch; the request
+	// re-issues after the page lands.
+	s.Eng.After(s.cfg.AstriSwitchCost/4, req.OnHint)
+}
+
+func (s *System) astriWrite(a mem.Addr, record bool, accepted func()) {
+	page := a.Page()
+	if s.astri.Access(page, true) {
+		s.hostWrite(a, record, accepted)
+		return
+	}
+	f := s.astriMiss(page, record)
+	f.writeAccepts = append(f.writeAccepts, func() {
+		s.astri.Access(page, true) // dirty the landed page
+		s.hostWrite(a, record, accepted)
+	})
+}
+
+// astriMiss starts (or joins) the 4 KB on-demand fetch of page from the SSD.
+func (s *System) astriMiss(page mem.Addr, record bool) *astriFetch {
+	if f, ok := s.astriIn[page]; ok {
+		return f
+	}
+	f := &astriFetch{}
+	s.astriIn[page] = f
+	lpa := cxlPage(page)
+	s.link.ToDevice(cxl.HeaderBytes, func() {
+		s.ctrl.FetchPage(lpa, func() {
+			if record {
+				s.breakdown.Inc(stats.SSDReadMiss)
+			}
+			s.link.ToHost(mem.LinesPerPage*cxl.DataBytes, func() {
+				v := s.astri.Fill(page, false)
+				if v.Valid && v.Dirty {
+					// Dirty victim pages write back at page granularity —
+					// AstriFlash always accesses the SSD in pages.
+					vlpa := cxlPage(v.Addr)
+					s.link.ToDevice(mem.LinesPerPage*cxl.DataBytes, func() {
+						s.ctrl.WritePage(vlpa, nil, nil)
+					})
+				}
+				delete(s.astriIn, page)
+				for _, acc := range f.writeAccepts {
+					acc()
+				}
+			})
+		})
+	})
+	return f
+}

@@ -1,0 +1,140 @@
+package trace
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (splitmix64 seeded
+// xorshift128+). The simulator avoids math/rand so that trace determinism
+// never depends on Go release behaviour.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1 = next(), next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0, n).
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("trace: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Zipf samples ranks in [0, n) with a zipfian skew following the classic
+// Gray et al. algorithm used by YCSB. Unlike math/rand's Zipf it supports
+// theta < 1 (YCSB's default constant is 0.99).
+type Zipf struct {
+	rng               *RNG
+	n                 uint64
+	theta             float64
+	alpha, zetan, eta float64
+}
+
+// NewZipf builds a sampler over [0, n) with skew theta in (0, 1).
+// theta→0 approaches uniform; theta→1 is heavily skewed.
+func NewZipf(rng *RNG, n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("trace: Zipf over empty domain")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Cap the exact summation; beyond the cap use the Euler–Maclaurin
+	// integral approximation, keeping construction O(1)-ish for large n.
+	const cap = 1 << 20
+	sum := 0.0
+	limit := n
+	if limit > cap {
+		limit = cap
+	}
+	for i := uint64(1); i <= limit; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > cap {
+		// integral of x^-theta from cap to n
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(cap), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+// Next samples one rank. Rank 0 is the hottest.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// ScrambledNext samples a rank and scatters it over the domain with a
+// fixed permutation hash, so hot items are spread across the address space
+// (YCSB's "scrambled zipfian").
+func (z *Zipf) ScrambledNext() uint64 {
+	v := z.Next()
+	return fnvHash(v) % z.n
+}
+
+func fnvHash(v uint64) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= 0x100000001B3
+		v >>= 8
+	}
+	return h
+}

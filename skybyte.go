@@ -1,0 +1,117 @@
+// Package skybyte is a full-system reproduction of "SkyByte: Architecting
+// an Efficient Memory-Semantic CXL-based SSD with OS and Hardware
+// Co-design" (HPCA 2025).
+//
+// It simulates, end to end, a multi-core host running software threads over
+// a CXL.mem link to a flash SSD, and implements the paper's three
+// mechanisms — the coordinated context switch on device-predicted long
+// delays, the cacheline-granular write log with a page-granular data cache
+// in the SSD DRAM, and adaptive hot-page promotion to host DRAM — alongside
+// the baselines the paper compares against (Base-CSSD, TPP-style migration,
+// an AstriFlash-style host page cache, and an ideal DRAM-only machine).
+//
+// Quick start:
+//
+//	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+//	w, _ := skybyte.WorkloadByName("ycsb")
+//	res := skybyte.Run(cfg, w, 24, 16_000, 1)
+//	fmt.Println(res.ExecTime, res.AMAT.Mean())
+//
+// The experiments API regenerates every table and figure of the paper's
+// evaluation; see NewExperiments and EXPERIMENTS.md.
+package skybyte
+
+import (
+	"skybyte/internal/experiments"
+	"skybyte/internal/system"
+	"skybyte/internal/trace"
+	"skybyte/internal/workloads"
+)
+
+// Config is the full-system configuration (Table II plus the artifact's
+// knobs). Obtain one from ScaledConfig or PaperConfig, then apply
+// WithVariant.
+type Config = system.Config
+
+// Variant names a design point from the paper's evaluation.
+type Variant = system.Variant
+
+// The design points of Figs. 14 and 23.
+const (
+	DRAMOnly      = system.DRAMOnly
+	BaseCSSD      = system.BaseCSSD
+	SkyByteC      = system.SkyByteC
+	SkyByteP      = system.SkyByteP
+	SkyByteW      = system.SkyByteW
+	SkyByteCP     = system.SkyByteCP
+	SkyByteWP     = system.SkyByteWP
+	SkyByteFull   = system.SkyByteFull
+	SkyByteCT     = system.SkyByteCT
+	SkyByteWCT    = system.SkyByteWCT
+	AstriFlashCXL = system.AstriFlashCXL
+)
+
+// Variants lists the Fig. 14 comparison set in the paper's order.
+func Variants() []Variant { return append([]Variant(nil), system.AllVariants...) }
+
+// Result carries the measurements of one run (execution time, boundedness,
+// AMAT components, request breakdown, flash traffic, migrations, ...).
+type Result = system.Result
+
+// System is a fully wired simulated machine for callers that want to drive
+// runs manually (custom streams, incremental stepping).
+type System = system.System
+
+// Workload describes one Table I benchmark and generates its instruction
+// streams.
+type Workload = workloads.Spec
+
+// Stream is a lazily generated instruction trace; custom workloads
+// implement it and pass it to (*System).AddThread.
+type Stream = trace.Stream
+
+// Record is one instruction-trace record.
+type Record = trace.Record
+
+// ScaledConfig returns the evaluation machine at 1/64 of Table II's
+// capacities (identical ratios; see DESIGN.md §1).
+func ScaledConfig() Config { return system.ScaledConfig() }
+
+// PaperConfig returns Table II verbatim (128 GB flash, 512 MB SSD DRAM).
+func PaperConfig() Config { return system.PaperConfig() }
+
+// Workloads returns the seven Table I benchmarks.
+func Workloads() []Workload { return workloads.Table1() }
+
+// WorkloadByName looks a benchmark up by name (bc, bfs-dense, dlrm, radix,
+// srad, tpcc, ycsb).
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// NewSystem wires a machine from cfg.
+func NewSystem(cfg Config) *System { return system.New(cfg) }
+
+// Run executes one workload on one configuration: threads streams of
+// instrPerThread instructions each, all seeded deterministically.
+func Run(cfg Config, w Workload, threads int, instrPerThread uint64, seed uint64) *Result {
+	sys := system.New(cfg)
+	for i := 0; i < threads; i++ {
+		sys.AddThread(w.Stream(i, seed), instrPerThread)
+	}
+	return sys.Run()
+}
+
+// ExperimentOptions scope an experiment campaign.
+type ExperimentOptions = experiments.Options
+
+// Experiments regenerates the paper's tables and figures.
+type Experiments = experiments.Harness
+
+// ExperimentTable is one reproduced figure or table.
+type ExperimentTable = experiments.Table
+
+// DefaultExperimentOptions sizes a campaign to run a full sweep in minutes.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// NewExperiments builds an experiment harness; its Fig* and Table* methods
+// each regenerate one element of the paper's evaluation.
+func NewExperiments(opt ExperimentOptions) *Experiments { return experiments.NewHarness(opt) }

@@ -1,0 +1,66 @@
+package skybyte_test
+
+import (
+	"testing"
+
+	"skybyte"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+	w, err := skybyte.WorkloadByName("ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := skybyte.Run(cfg, w, 8, 4000, 1)
+	if res.ExecTime <= 0 || res.Instructions < 8*4000 {
+		t.Fatalf("run incomplete: %v / %d instrs", res.ExecTime, res.Instructions)
+	}
+	if res.Variant != string(skybyte.SkyByteFull) {
+		t.Fatalf("variant = %q", res.Variant)
+	}
+}
+
+func TestVariantsExposed(t *testing.T) {
+	vs := skybyte.Variants()
+	if len(vs) != 8 {
+		t.Fatalf("variants = %d, want the Fig. 14 set of 8", len(vs))
+	}
+	if vs[0] != skybyte.BaseCSSD || vs[len(vs)-1] != skybyte.DRAMOnly {
+		t.Fatalf("variant order unexpected: %v", vs)
+	}
+}
+
+func TestWorkloadsExposed(t *testing.T) {
+	if len(skybyte.Workloads()) != 7 {
+		t.Fatal("Table I should have 7 workloads")
+	}
+	if _, err := skybyte.WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestManualSystemDrive(t *testing.T) {
+	cfg := skybyte.ScaledConfig().WithVariant(skybyte.BaseCSSD)
+	sys := skybyte.NewSystem(cfg)
+	w, _ := skybyte.WorkloadByName("tpcc")
+	for i := 0; i < 4; i++ {
+		sys.AddThread(w.Stream(i, 2), 3000)
+	}
+	res := sys.Run()
+	if res.Breakdown.Total() == 0 {
+		t.Fatal("no requests recorded")
+	}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	opt := skybyte.DefaultExperimentOptions()
+	opt.TotalInstr = 48_000
+	opt.SweepInstr = 24_000
+	opt.Workloads = []string{"ycsb"}
+	h := skybyte.NewExperiments(opt)
+	tab := h.Fig02()
+	if tab.ID != "fig02" || len(tab.Rows) != 1 {
+		t.Fatalf("fig02 shape wrong: %+v", tab)
+	}
+}
