@@ -12,12 +12,13 @@ package skybyte_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"skybyte"
 	"skybyte/internal/experiments"
-	"skybyte/internal/stats"
 	"skybyte/internal/system"
 )
 
@@ -195,5 +196,35 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		instr += r.Instructions
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
-	_ = stats.GeoMean
+}
+
+// BenchmarkCampaignThroughput measures the whole-sweep wall-clock of the
+// plan/execute campaign runner at parallelism 1 vs GOMAXPROCS, reporting
+// simulation runs per wall second. The sub-benchmarks share options but
+// never a harness, so every iteration pays for its runs; ns/op is the
+// full-sweep wall-clock at that parallelism, and runs/s the pool
+// throughput (on a multi-core host the GOMAXPROCS variant should
+// approach a linear multiple of the sequential one).
+func BenchmarkCampaignThroughput(b *testing.B) {
+	opt := experiments.DefaultOptions()
+	opt.Workloads = []string{"bc", "srad", "ycsb"}
+	opt.TotalInstr = 96_000
+	opt.SweepInstr = 48_000
+	levels := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		levels = append(levels, n)
+	}
+	for _, par := range levels {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			var runs atomic.Int64
+			for i := 0; i < b.N; i++ {
+				o := opt
+				o.Parallelism = par
+				h := experiments.NewHarness(o)
+				h.Verbose = func(string, *system.Result) { runs.Add(1) }
+				h.All()
+			}
+			b.ReportMetric(float64(runs.Load())/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
 }

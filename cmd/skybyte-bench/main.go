@@ -4,8 +4,9 @@
 //
 // Examples:
 //
-//	skybyte-bench                      # everything, default budget
+//	skybyte-bench                      # everything, all cores, default budget
 //	skybyte-bench -figure fig14        # just the headline comparison
+//	skybyte-bench -parallel 1          # sequential (same bytes, slower)
 //	skybyte-bench -workloads bc,ycsb -instr 200000
 //	skybyte-bench -config              # print the Table II configurations
 package main
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +30,8 @@ func main() {
 		figure    = flag.String("figure", "all", "experiment to run: all, table1, fig02..fig23, table3, cost, writelog")
 		workloads = flag.String("workloads", "", "comma-separated benchmark subset (default: all of Table I)")
 		instr     = flag.Uint64("instr", 0, "total instructions per run (default 384000)")
+		parallel  = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS, 1 = sequential; tables are identical either way)")
+		progress  = flag.Bool("progress", false, "report batch progress as runs complete")
 		verbose   = flag.Bool("v", false, "log each simulation as it completes")
 		showCfg   = flag.Bool("config", false, "print the Table II configurations and exit")
 	)
@@ -45,6 +49,12 @@ func main() {
 	}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	opt.Parallelism = *parallel
+	if *progress {
+		opt.Progress = func(done, total int, key string) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, key)
+		}
 	}
 	h := experiments.NewHarness(opt)
 	if *verbose {
@@ -73,7 +83,11 @@ func main() {
 		}
 		fmt.Println(f().String())
 	}
-	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v (%d workers)\n", time.Since(start).Round(time.Millisecond), workers)
 }
 
 func printConfigs() {

@@ -6,16 +6,24 @@
 //
 //	skybyte-sim -workload ycsb -variant SkyByte-Full -threads 24 -instr 16000
 //	skybyte-sim -workload srad -variant Base-CSSD -cs-threshold 10us
+//
+// With -variants (plural), several design points run concurrently over
+// the shared worker pool and print as one comparison:
+//
+//	skybyte-sim -workload tpcc -variants Base-CSSD,SkyByte-W,SkyByte-Full
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"skybyte"
 	"skybyte/internal/osched"
+	"skybyte/internal/runner"
 	"skybyte/internal/sim"
 	"skybyte/internal/stats"
 )
@@ -24,6 +32,8 @@ func main() {
 	var (
 		workload  = flag.String("workload", "ycsb", "benchmark: bc, bfs-dense, dlrm, radix, srad, tpcc, ycsb")
 		variant   = flag.String("variant", "SkyByte-Full", "design variant (Base-CSSD, SkyByte-{C,P,W,CP,WP,Full,CT,WCT}, AstriFlash-CXL, DRAM-Only)")
+		variants  = flag.String("variants", "", "comma-separated variants to compare; they run in parallel and print one table")
+		parallel  = flag.Int("parallel", 0, "with -variants: simulations in flight at once (0 = GOMAXPROCS)")
 		threads   = flag.Int("threads", 0, "software threads (0 = paper default: 24 with context switch, 8 otherwise)")
 		instr     = flag.Uint64("instr", 16000, "instructions per thread")
 		seed      = flag.Uint64("seed", 1, "workload seed")
@@ -40,19 +50,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := skybyte.ScaledConfig()
+	base := skybyte.ScaledConfig()
 	if *paper {
-		cfg = skybyte.PaperConfig()
+		base = skybyte.PaperConfig()
 	}
-	cfg = cfg.WithVariant(skybyte.Variant(*variant))
-	cfg.HintThreshold = sim.Time(threshold.Nanoseconds()) * sim.Nanosecond
-	cfg.Policy = osched.PolicyKind(*policy)
-	if *cacheMB > 0 {
-		cfg.SSDDRAMBytes = *cacheMB << 20
+	// knobs applies the CLI overrides on top of a variant config; the
+	// comparison path reuses it as the runner's config mutation.
+	knobs := func(c *skybyte.Config) {
+		c.HintThreshold = sim.Time(threshold.Nanoseconds()) * sim.Nanosecond
+		c.Policy = osched.PolicyKind(*policy)
+		if *cacheMB > 0 {
+			c.SSDDRAMBytes = *cacheMB << 20
+		}
+		if *logKB > 0 {
+			c.WriteLogBytes = *logKB << 10
+		}
 	}
-	if *logKB > 0 {
-		cfg.WriteLogBytes = *logKB << 10
+
+	if *variants != "" {
+		compareVariants(base, w, strings.Split(*variants, ","), *threads, *instr, *seed, *parallel, knobs)
+		return
 	}
+
+	cfg := base.WithVariant(skybyte.Variant(*variant))
+	knobs(&cfg)
 	n := *threads
 	if n == 0 {
 		n = 8
@@ -96,4 +117,49 @@ func main() {
 	}
 	fmt.Printf("SSD bandwidth   %.2f GB/s over CXL; flash die utilization %.1f%%\n",
 		res.SSDBandwidthBps/1e9, 100*res.FlashUtilization)
+}
+
+// compareVariants runs one workload across several design points on the
+// shared worker pool and prints them side by side (execution time
+// normalized to the first variant listed). Every thread receives the
+// same per-thread instruction budget, so variants with different paper
+// thread defaults still execute comparable program sections per thread.
+func compareVariants(base skybyte.Config, w skybyte.Workload, names []string, threads int, instrPerThread, seed uint64, parallel int, knobs func(*skybyte.Config)) {
+	r := runner.New(base, seed, parallel)
+	specs := make([]runner.Spec, len(names))
+	for i, name := range names {
+		v := skybyte.Variant(strings.TrimSpace(name))
+		n := threads
+		if n == 0 {
+			vcfg := base.WithVariant(v)
+			knobs(&vcfg)
+			n = runner.ThreadsFor(vcfg)
+		}
+		specs[i] = runner.Spec{
+			Workload:   w.Name,
+			Variant:    v,
+			TotalInstr: instrPerThread * uint64(n),
+			Threads:    n,
+			Tag:        "cli",
+			Mutate:     knobs,
+		}
+	}
+	start := time.Now()
+	results, err := r.RunAll(context.Background(), specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("workload %s, %d instr/thread, %d workers (wall %v)\n\n",
+		w.Name, instrPerThread, r.Parallelism(), wall.Round(time.Millisecond))
+	fmt.Printf("%-16s %8s %14s %8s %12s %10s %8s\n",
+		"variant", "threads", "exec", "norm", "AMAT", "p99 read", "MPKI")
+	ref := float64(results[0].ExecTime)
+	for i, res := range results {
+		fmt.Printf("%-16s %8d %14v %8.3f %12v %10v %8.1f\n",
+			string(specs[i].Variant), specs[i].Threads, res.ExecTime,
+			float64(res.ExecTime)/ref, res.AMAT.Mean(), res.ReadLat.Percentile(99), res.MPKI)
+	}
 }

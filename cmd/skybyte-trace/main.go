@@ -6,12 +6,15 @@
 //
 //	skybyte-trace -workload bc -n 200000
 //	skybyte-trace -workload radix -dump 30
+//	skybyte-trace -workload ycsb -nthreads 24        # all 24 streams, analysed in parallel
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"skybyte"
 	"skybyte/internal/mem"
@@ -19,12 +22,64 @@ import (
 	"skybyte/internal/trace"
 )
 
+// summary is one thread stream's measured characteristics.
+type summary struct {
+	thread    int
+	kinds     map[trace.Kind]uint64
+	instrs    uint64
+	pages     map[uint64]bool
+	pageLines map[uint64]uint64 // page -> line bitmask
+}
+
+// analyze drains up to n records of one thread's stream. Streams are
+// independent deterministic generators, so distinct threads may be
+// analysed concurrently.
+func analyze(w skybyte.Workload, thread int, seed uint64, n, dump int) summary {
+	st := w.Stream(thread, seed)
+	s := summary{
+		thread:    thread,
+		kinds:     map[trace.Kind]uint64{},
+		pages:     map[uint64]bool{},
+		pageLines: map[uint64]uint64{},
+	}
+	dumped := 0
+	for i := 0; i < n; i++ {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		if dumped < dump {
+			fmt.Printf("%6d  %-8s", i, r.Kind)
+			if r.Kind == trace.Compute {
+				fmt.Printf("  n=%d\n", r.N)
+			} else {
+				fmt.Printf("  %#x (page %d, line %d)\n", uint64(r.Addr), r.Addr.PageNumber(), r.Addr.LineIndex())
+			}
+			dumped++
+		}
+		s.kinds[r.Kind]++
+		s.instrs += r.Instructions()
+		if r.Kind != trace.Compute {
+			p := r.Addr.PageNumber()
+			s.pages[p] = true
+			s.pageLines[p] |= 1 << r.Addr.LineIndex()
+		}
+	}
+	return s
+}
+
+func (s summary) memOps() uint64 {
+	return s.kinds[trace.Load] + s.kinds[trace.LoadDep] + s.kinds[trace.Store]
+}
+
 func main() {
 	var (
 		workload = flag.String("workload", "ycsb", "benchmark name")
-		n        = flag.Int("n", 100000, "records to analyse")
-		dump     = flag.Int("dump", 0, "records to print verbatim")
+		n        = flag.Int("n", 100000, "records to analyse per thread")
+		dump     = flag.Int("dump", 0, "records to print verbatim (single-thread mode only)")
 		thread   = flag.Int("thread", 0, "thread id")
+		nthreads = flag.Int("nthreads", 1, "analyse this many thread streams (ids 0..n-1) and aggregate")
+		parallel = flag.Int("parallel", 0, "streams analysed concurrently (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -34,42 +89,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	st := w.Stream(*thread, *seed)
 
+	var sums []summary
+	if *nthreads > 1 {
+		// Fan the independent streams across a bounded worker pool;
+		// results print in thread order regardless of completion order.
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		sums = make([]summary, *nthreads)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for t := 0; t < *nthreads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				sums[t] = analyze(w, t, *seed, *n, 0)
+				<-sem
+			}(t)
+		}
+		wg.Wait()
+	} else {
+		sums = []summary{analyze(w, *thread, *seed, *n, *dump)}
+	}
+
+	fmt.Printf("\nworkload %s (%s, paper footprint %.2fGB, paper MPKI %.1f)\n",
+		w.Name, w.Suite, w.PaperFootprintGB, w.PaperMPKI)
+	if *nthreads > 1 {
+		fmt.Printf("%-8s %12s %12s %10s %8s\n", "thread", "instrs", "mem ops", "stores", "pages")
+		for _, s := range sums {
+			fmt.Printf("%-8d %12d %12d %10d %8d\n", s.thread, s.instrs, s.memOps(), s.kinds[trace.Store], len(s.pages))
+		}
+	}
+
+	// Aggregate across the analysed streams.
 	var (
 		kinds     = map[trace.Kind]uint64{}
 		instrs    uint64
 		pages     = map[uint64]bool{}
-		pageLines = map[uint64]uint64{} // page -> line bitmask
-		dumped    int
+		pageLines = map[uint64]uint64{}
 	)
-	for i := 0; i < *n; i++ {
-		r, ok := st.Next()
-		if !ok {
-			break
+	for _, s := range sums {
+		for k, v := range s.kinds {
+			kinds[k] += v
 		}
-		if dumped < *dump {
-			fmt.Printf("%6d  %-8s", i, r.Kind)
-			if r.Kind == trace.Compute {
-				fmt.Printf("  n=%d\n", r.N)
-			} else {
-				fmt.Printf("  %#x (page %d, line %d)\n", uint64(r.Addr), r.Addr.PageNumber(), r.Addr.LineIndex())
-			}
-			dumped++
-		}
-		kinds[r.Kind]++
-		instrs += r.Instructions()
-		if r.Kind != trace.Compute {
-			p := r.Addr.PageNumber()
+		instrs += s.instrs
+		for p := range s.pages {
 			pages[p] = true
-			pageLines[p] |= 1 << r.Addr.LineIndex()
+		}
+		for p, mask := range s.pageLines {
+			pageLines[p] |= mask
 		}
 	}
 
 	memOps := kinds[trace.Load] + kinds[trace.LoadDep] + kinds[trace.Store]
-	fmt.Printf("\nworkload %s (%s, paper footprint %.2fGB, paper MPKI %.1f)\n",
-		w.Name, w.Suite, w.PaperFootprintGB, w.PaperMPKI)
-	fmt.Printf("instructions     %d (%d records)\n", instrs, *n)
+	fmt.Printf("instructions     %d (%d records/thread, %d threads)\n", instrs, *n, len(sums))
 	fmt.Printf("memory ops       %d (%.1f per 100 instr)\n", memOps, 100*float64(memOps)/float64(instrs))
 	totalLoads := kinds[trace.Load] + kinds[trace.LoadDep]
 	depFrac := 0.0

@@ -1,0 +1,3 @@
+module skybyte
+
+go 1.24

@@ -135,6 +135,81 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestOptionsFieldDefaults pins the field-wise defaulting: a caller
+// scoping only Workloads (TotalInstr left zero) keeps that scope and
+// inherits the default budgets, rather than having the whole Options
+// replaced.
+func TestOptionsFieldDefaults(t *testing.T) {
+	h := NewHarness(Options{Workloads: []string{"bc"}, Parallelism: 2})
+	if len(h.Opt.Workloads) != 1 || h.Opt.Workloads[0] != "bc" {
+		t.Fatalf("caller Workloads discarded: %v", h.Opt.Workloads)
+	}
+	def := DefaultOptions()
+	if h.Opt.TotalInstr != def.TotalInstr || h.Opt.SweepInstr != def.SweepInstr || h.Opt.Seed != def.Seed {
+		t.Fatalf("zero fields not defaulted: %+v", h.Opt)
+	}
+	if h.Opt.BaseConfig.Cores == 0 {
+		t.Fatal("BaseConfig not defaulted")
+	}
+}
+
+// TestCampaignParallelDeterminism is the contract of the plan/execute
+// split: a campaign rendered at Parallelism 1 and at Parallelism 8 must
+// produce byte-identical tables — same runs, same order, same numbers.
+func TestCampaignParallelDeterminism(t *testing.T) {
+	render := func(parallelism int) []string {
+		o := tinyOptions()
+		o.TotalInstr = 48_000
+		o.SweepInstr = 24_000
+		o.Parallelism = parallelism
+		var out []string
+		for _, tab := range NewHarness(o).All() {
+			out = append(out, tab.String())
+		}
+		return out
+	}
+	seq := render(1)
+	par := render(8)
+	if len(seq) != len(par) {
+		t.Fatalf("table counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("table %d differs between Parallelism 1 and 8:\n--- sequential ---\n%s--- parallel ---\n%s", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestCampaignPlansOnce checks that All() de-duplicates across figures:
+// the campaign executes exactly as many simulations as there are unique
+// design points, however many figures share them.
+func TestCampaignPlansOnce(t *testing.T) {
+	o := tinyOptions()
+	o.TotalInstr = 48_000
+	o.SweepInstr = 24_000
+	h := NewHarness(o)
+	p := h.NewPlan()
+	for _, f := range h.planners() {
+		f(p)
+	}
+	unique := p.Size()
+	runs := 0
+	var last struct {
+		done, total int
+	}
+	h.Opt.Progress = func(done, total int, key string) {
+		runs++
+		last.done, last.total = done, total
+	}
+	h.All()
+	if runs != unique {
+		t.Fatalf("campaign executed %d runs; %d unique design points planned", runs, unique)
+	}
+	if last.done != unique || last.total != unique {
+		t.Fatalf("final progress %d/%d, want %d/%d", last.done, last.total, unique, unique)
+	}
+}
+
 func TestHarnessMemoisation(t *testing.T) {
 	h := NewHarness(tinyOptions())
 	runs := 0

@@ -6,14 +6,23 @@
 // Absolute numbers differ from the paper (synthetic workloads on a scaled
 // device — DESIGN.md §1); the comparisons preserve the paper's shape: who
 // wins, by roughly what factor, and where the crossovers fall.
+//
+// The layer is split into plan and execute halves. Every figure first
+// declares its design points against a Plan (which de-duplicates them
+// into runner.Specs) and returns a build closure; Plan.MustExecute then
+// pushes the whole batch through a shared internal/runner worker pool.
+// Because results come back in declaration order and each simulation is
+// deterministic, the rendered tables are byte-identical at any
+// parallelism — see TestCampaignParallelDeterminism.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"strings"
 
 	"skybyte/internal/mem"
+	"skybyte/internal/runner"
 	"skybyte/internal/system"
 	"skybyte/internal/workloads"
 )
@@ -30,6 +39,15 @@ type Options struct {
 	// Workloads restricts the benchmark set (default: all of Table I).
 	Workloads []string
 	Seed      uint64
+	// Parallelism bounds the simulations in flight at once
+	// (0 = GOMAXPROCS, 1 = fully sequential). Tables are identical at
+	// any setting; only wall-clock changes.
+	Parallelism int
+	// Progress, when set, observes campaign progress: done runs
+	// (memoised recalls included, so done reaches total) out of the
+	// planned batch, plus the just-finished run's key. It is called
+	// serially from worker goroutines.
+	Progress func(done, total int, key string)
 }
 
 // DefaultOptions returns a campaign sized to run a full sweep in minutes.
@@ -43,21 +61,52 @@ func DefaultOptions() Options {
 	}
 }
 
-// Harness memoises simulation runs so figures sharing design points (e.g.
-// Figs. 14, 16, 17, 18) pay for them once.
+// Harness plans the paper's figures and executes them on a shared
+// runner. Runs memoise across figures, so ones sharing design points
+// (e.g. Figs. 14, 16, 17, 18) pay for them once — and a campaign
+// planned as a whole (All) executes every unique design point exactly
+// once across the worker pool.
 type Harness struct {
-	Opt   Options
-	cache map[string]*system.Result
-	// Verbose, when set, logs each run as it completes.
+	Opt Options
+	run *runner.Runner
+	// Verbose, when set, logs each run as it completes (executions only;
+	// memoised recalls are silent). Calls are serialized but may come
+	// from worker goroutines.
 	Verbose func(key string, r *system.Result)
 }
 
-// NewHarness builds a harness.
+// NewHarness builds a harness. Zero-valued Options fields take their
+// DefaultOptions values field by field, so setting e.g. only Workloads
+// and Parallelism scopes the campaign without losing the default
+// budgets.
 func NewHarness(opt Options) *Harness {
-	if opt.TotalInstr == 0 {
-		opt = DefaultOptions()
+	def := DefaultOptions()
+	if opt.BaseConfig.Cores == 0 {
+		opt.BaseConfig = def.BaseConfig
 	}
-	return &Harness{Opt: opt, cache: make(map[string]*system.Result)}
+	if opt.TotalInstr == 0 {
+		opt.TotalInstr = def.TotalInstr
+	}
+	if opt.SweepInstr == 0 {
+		opt.SweepInstr = def.SweepInstr
+	}
+	if len(opt.Workloads) == 0 {
+		opt.Workloads = def.Workloads
+	}
+	if opt.Seed == 0 {
+		opt.Seed = def.Seed
+	}
+	h := &Harness{Opt: opt}
+	h.run = runner.New(opt.BaseConfig, opt.Seed, opt.Parallelism)
+	h.run.OnEvent = func(ev runner.Event) {
+		if h.Verbose != nil && !ev.Cached {
+			h.Verbose(ev.Key, ev.Result)
+		}
+		if h.Opt.Progress != nil {
+			h.Opt.Progress(ev.Done, ev.Total, ev.Key)
+		}
+	}
+	return h
 }
 
 func (h *Harness) specs() []workloads.Spec {
@@ -72,42 +121,96 @@ func (h *Harness) specs() []workloads.Spec {
 	return out
 }
 
-// threadsFor follows §VI-A: 24 threads on 8 cores when the coordinated
-// context switch is enabled, 8 threads otherwise.
-func threadsFor(cfg system.Config) int {
-	if cfg.CtxSwitchEnabled || cfg.Migration == system.MigrationAstri {
-		return 3 * cfg.Cores
-	}
-	return cfg.Cores
+// mutate lets callers adjust a variant config before a run.
+type mutate = func(*system.Config)
+
+// Plan accumulates the de-duplicated design points one or more figures
+// need, then executes them as a single parallel batch.
+type Plan struct {
+	h     *Harness
+	specs []runner.Spec
+	index map[string]int
+	res   []*system.Result
+	done  bool
 }
 
-// mutate lets callers adjust a variant config before a run.
-type mutate func(*system.Config)
+// NewPlan starts an empty plan against the harness's runner.
+func (h *Harness) NewPlan() *Plan {
+	return &Plan{h: h, index: make(map[string]int)}
+}
 
-// run executes (or recalls) one design point on one workload.
-func (h *Harness) run(spec workloads.Spec, v system.Variant, totalInstr uint64, threads int, key string, muts ...mutate) *system.Result {
-	full := fmt.Sprintf("%s|%s|%d|%d|%s", spec.Name, v, totalInstr, threads, key)
-	if r, ok := h.cache[full]; ok {
-		return r
+// Pending is a handle to one planned run; Result is valid only after
+// the plan executed.
+type Pending struct {
+	p *Plan
+	i int
+}
+
+// Result returns the completed measurement set.
+func (pe *Pending) Result() *system.Result {
+	if !pe.p.done {
+		panic("experiments: Pending.Result before Plan.MustExecute")
 	}
-	cfg := h.Opt.BaseConfig.WithVariant(v)
-	for _, m := range muts {
-		m(&cfg)
+	return pe.p.res[pe.i]
+}
+
+// Run declares one design point on one workload, de-duplicating against
+// earlier declarations, and returns its handle. The signature mirrors
+// the design-point vocabulary of §VI-A: workload, variant, total
+// instruction budget, thread count (0 = paper default), and a tag
+// naming any config mutations.
+func (p *Plan) Run(spec workloads.Spec, v system.Variant, totalInstr uint64, threads int, tag string, muts ...mutate) *Pending {
+	if p.done {
+		panic("experiments: Plan.Run after Plan.MustExecute")
 	}
-	if threads == 0 {
-		threads = threadsFor(cfg)
+	s := runner.Spec{
+		Workload:   spec.Name,
+		Variant:    v,
+		TotalInstr: totalInstr,
+		Threads:    threads,
+		Tag:        tag,
 	}
-	sys := system.New(cfg)
-	per := totalInstr / uint64(threads)
-	for i := 0; i < threads; i++ {
-		sys.AddThread(spec.Stream(i, h.Opt.Seed), per)
+	if len(muts) > 0 {
+		s.Mutate = func(c *system.Config) {
+			for _, m := range muts {
+				m(c)
+			}
+		}
 	}
-	r := sys.Run()
-	h.cache[full] = r
-	if h.Verbose != nil {
-		h.Verbose(full, r)
+	key := s.Key()
+	if i, ok := p.index[key]; ok {
+		return &Pending{p: p, i: i}
 	}
-	return r
+	p.index[key] = len(p.specs)
+	p.specs = append(p.specs, s)
+	return &Pending{p: p, i: len(p.specs) - 1}
+}
+
+// Size returns the number of unique design points planned so far.
+func (p *Plan) Size() int { return len(p.specs) }
+
+// MustExecute runs the batch across the worker pool. It panics on the
+// only possible failures — an unknown workload name or a cancelled
+// context — both programming errors at this layer.
+func (p *Plan) MustExecute() {
+	res, err := p.h.run.RunAll(context.Background(), p.specs)
+	if err != nil {
+		panic(err)
+	}
+	p.res = res
+	p.done = true
+}
+
+// planner is one figure's plan phase: it declares runs on p and returns
+// the closure that renders the table once p executed.
+type planner func(p *Plan) func() Table
+
+// table runs a single figure end to end: plan, execute, build.
+func (h *Harness) table(f planner) Table {
+	p := h.NewPlan()
+	build := f(p)
+	p.MustExecute()
+	return build()
 }
 
 // Table is one reproduced figure or table.
@@ -156,18 +259,6 @@ func (t Table) String() string {
 func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
 func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
-
-// sortedKeys is a deterministic map iteration helper.
-func sortedKeys[K ~string, V any](m map[K]V) []K {
-	ks := make([]K, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	return ks
-}
-
-var _ = sortedKeys[string, int] // generic helper used by future figures
 
 // bytesLabel renders a byte count compactly for sweep headers.
 func bytesLabel(n int) string {

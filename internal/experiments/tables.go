@@ -11,138 +11,206 @@ import (
 
 // Table1 reproduces Table I: the measured characteristics of each workload
 // generator against the paper's figures.
-func (h *Harness) Table1() Table {
-	t := Table{
-		ID:     "table1",
-		Title:  "Workload characteristics (measured vs paper)",
-		Header: []string{"workload", "footprint", "write ratio", "paper wr", "MPKI", "paper MPKI"},
-		Note:   "footprints are 1/64 of Table I; MPKI measured on the DRAM-Only configuration",
+func (h *Harness) Table1() Table { return h.table(h.table1) }
+
+func (h *Harness) table1(p *Plan) func() Table {
+	type row struct {
+		name string
+		dram *Pending
 	}
+	var rows []row
 	for _, spec := range h.specs() {
-		// Measure the write ratio directly from the generator.
-		st := spec.Stream(0, h.Opt.Seed)
-		var loads, stores uint64
-		for i := 0; i < 60000; i++ {
-			r, ok := st.Next()
-			if !ok {
-				break
-			}
-			switch r.Kind {
-			case trace.Load, trace.LoadDep:
-				loads++
-			case trace.Store:
-				stores++
-			}
-		}
-		d := h.run(spec, system.DRAMOnly, h.Opt.TotalInstr, 0, "")
-		t.Rows = append(t.Rows, []string{
-			spec.Name,
-			stats.FormatGB(spec.FootprintBytes()),
-			pct(float64(stores) / float64(loads+stores)),
-			pct(spec.WriteRatio),
-			f2(d.MPKI),
-			f2(spec.PaperMPKI),
-		})
+		rows = append(rows, row{spec.Name, p.Run(spec, system.DRAMOnly, h.Opt.TotalInstr, 0, "")})
 	}
-	return t
+	return func() Table {
+		t := Table{
+			ID:     "table1",
+			Title:  "Workload characteristics (measured vs paper)",
+			Header: []string{"workload", "footprint", "write ratio", "paper wr", "MPKI", "paper MPKI"},
+			Note:   "footprints are 1/64 of Table I; MPKI measured on the DRAM-Only configuration",
+		}
+		for i, spec := range h.specs() {
+			// Measure the write ratio directly from the generator.
+			st := spec.Stream(0, h.Opt.Seed)
+			var loads, stores uint64
+			for n := 0; n < 60000; n++ {
+				r, ok := st.Next()
+				if !ok {
+					break
+				}
+				switch r.Kind {
+				case trace.Load, trace.LoadDep:
+					loads++
+				case trace.Store:
+					stores++
+				}
+			}
+			d := rows[i].dram.Result()
+			t.Rows = append(t.Rows, []string{
+				spec.Name,
+				stats.FormatGB(spec.FootprintBytes()),
+				pct(float64(stores) / float64(loads+stores)),
+				pct(spec.WriteRatio),
+				f2(d.MPKI),
+				f2(spec.PaperMPKI),
+			})
+		}
+		return t
+	}
 }
 
 // Table3 reproduces Table III: the average flash read latency under
 // SkyByte-WP (paper: 3.3–25.7 µs — queueing inflates some workloads well
 // above tR).
-func (h *Harness) Table3() Table {
-	t := Table{
-		ID:     "table3",
-		Title:  "Average flash read latency of SkyByte-WP (µs)",
-		Header: []string{"workload", "latency", "paper"},
+func (h *Harness) Table3() Table { return h.table(h.table3) }
+
+func (h *Harness) table3(p *Plan) func() Table {
+	type row struct {
+		name string
+		wp   *Pending
 	}
-	paper := map[string]string{
-		"bc": "3.5", "bfs-dense": "25.7", "dlrm": "3.4", "radix": "4.9",
-		"srad": "22.5", "tpcc": "19.6", "ycsb": "3.3",
-	}
+	var rows []row
 	for _, spec := range h.specs() {
-		r := h.run(spec, system.SkyByteWP, h.Opt.TotalInstr, 0, "")
-		t.Rows = append(t.Rows, []string{
-			spec.Name,
-			f2(r.FlashLat.Mean().Microseconds()),
-			paper[spec.Name],
-		})
+		rows = append(rows, row{spec.Name, p.Run(spec, system.SkyByteWP, h.Opt.TotalInstr, 0, "")})
 	}
-	return t
+	return func() Table {
+		t := Table{
+			ID:     "table3",
+			Title:  "Average flash read latency of SkyByte-WP (µs)",
+			Header: []string{"workload", "latency", "paper"},
+		}
+		paper := map[string]string{
+			"bc": "3.5", "bfs-dense": "25.7", "dlrm": "3.4", "radix": "4.9",
+			"srad": "22.5", "tpcc": "19.6", "ycsb": "3.3",
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, []string{
+				r.name,
+				f2(r.wp.Result().FlashLat.Mean().Microseconds()),
+				paper[r.name],
+			})
+		}
+		return t
+	}
 }
 
 // CostEffectiveness reproduces §VI-B's cost analysis: DDR5 at $4.28/GB vs
 // ULL flash at $0.27/GB (summer 2024 prices quoted by the paper), SkyByte
 // is 15.9x cheaper than DRAM-only and improves cost-effectiveness 11.8x.
-func (h *Harness) CostEffectiveness() Table {
-	const dramPerGB, ssdPerGB = 4.28, 0.27
-	t := Table{
-		ID:     "cost",
-		Title:  "Cost-effectiveness of SkyByte-Full vs DRAM-Only (§VI-B)",
-		Header: []string{"workload", "perf vs DRAM", "cost ratio", "perf/$ gain"},
-		Note:   fmt.Sprintf("unit prices: DDR5 $%.2f/GB, ULL SSD $%.2f/GB (paper: 15.9x cheaper, 11.8x better perf/$)", dramPerGB, ssdPerGB),
+func (h *Harness) CostEffectiveness() Table { return h.table(h.costEffectiveness) }
+
+func (h *Harness) costEffectiveness(p *Plan) func() Table {
+	type row struct {
+		name       string
+		full, dram *Pending
 	}
-	costRatio := dramPerGB / ssdPerGB
-	var perfs []float64
+	var rows []row
 	for _, spec := range h.specs() {
-		full := h.run(spec, system.SkyByteFull, h.Opt.TotalInstr, 0, "")
-		d := h.run(spec, system.DRAMOnly, h.Opt.TotalInstr, 0, "")
-		perf := float64(d.ExecTime) / float64(full.ExecTime)
-		perfs = append(perfs, perf)
-		t.Rows = append(t.Rows, []string{spec.Name, pct(perf), f2(costRatio), f2(perf * costRatio)})
+		rows = append(rows, row{
+			spec.Name,
+			p.Run(spec, system.SkyByteFull, h.Opt.TotalInstr, 0, ""),
+			p.Run(spec, system.DRAMOnly, h.Opt.TotalInstr, 0, ""),
+		})
 	}
-	t.Rows = append(t.Rows, []string{"geo.mean", pct(stats.GeoMean(perfs)), f2(costRatio), f2(stats.GeoMean(perfs) * costRatio)})
-	return t
+	return func() Table {
+		const dramPerGB, ssdPerGB = 4.28, 0.27
+		t := Table{
+			ID:     "cost",
+			Title:  "Cost-effectiveness of SkyByte-Full vs DRAM-Only (§VI-B)",
+			Header: []string{"workload", "perf vs DRAM", "cost ratio", "perf/$ gain"},
+			Note:   fmt.Sprintf("unit prices: DDR5 $%.2f/GB, ULL SSD $%.2f/GB (paper: 15.9x cheaper, 11.8x better perf/$)", dramPerGB, ssdPerGB),
+		}
+		costRatio := dramPerGB / ssdPerGB
+		var perfs []float64
+		for _, r := range rows {
+			perf := float64(r.dram.Result().ExecTime) / float64(r.full.Result().ExecTime)
+			perfs = append(perfs, perf)
+			t.Rows = append(t.Rows, []string{r.name, pct(perf), f2(costRatio), f2(perf * costRatio)})
+		}
+		t.Rows = append(t.Rows, []string{"geo.mean", pct(stats.GeoMean(perfs)), f2(costRatio), f2(stats.GeoMean(perfs) * costRatio)})
+		return t
+	}
 }
 
 // WriteLogStats reports §III-B's implementation claims: the two-level hash
 // index footprint (paper: 5.6 MB average on a 64 MB log, ≤32 MB worst
 // case — here at 1/64 scale) and the mean compaction time (paper: 146 µs).
-func (h *Harness) WriteLogStats() Table {
-	t := Table{
-		ID:     "writelog",
-		Title:  "Write-log index footprint and compaction time (SkyByte-Full)",
-		Header: []string{"workload", "peak index", "log capacity", "compactions", "mean compaction"},
-		Note:   "paper: index averages 5.6MB on a 64MB log; a compaction averages 146µs",
+func (h *Harness) WriteLogStats() Table { return h.table(h.writeLogStats) }
+
+func (h *Harness) writeLogStats(p *Plan) func() Table {
+	type row struct {
+		name string
+		full *Pending
 	}
+	var rows []row
 	for _, spec := range h.specs() {
-		r := h.run(spec, system.SkyByteFull, h.Opt.TotalInstr, 0, "")
-		t.Rows = append(t.Rows, []string{
-			spec.Name,
-			stats.FormatGB(uint64(r.LogIndexPeak)),
-			stats.FormatGB(uint64(h.Opt.BaseConfig.WriteLogBytes)),
-			fmt.Sprintf("%d", r.Compaction.Count),
-			r.Compaction.Mean().String(),
-		})
+		rows = append(rows, row{spec.Name, p.Run(spec, system.SkyByteFull, h.Opt.TotalInstr, 0, "")})
 	}
-	return t
+	return func() Table {
+		t := Table{
+			ID:     "writelog",
+			Title:  "Write-log index footprint and compaction time (SkyByte-Full)",
+			Header: []string{"workload", "peak index", "log capacity", "compactions", "mean compaction"},
+			Note:   "paper: index averages 5.6MB on a 64MB log; a compaction averages 146µs",
+		}
+		for _, r := range rows {
+			res := r.full.Result()
+			t.Rows = append(t.Rows, []string{
+				r.name,
+				stats.FormatGB(uint64(res.LogIndexPeak)),
+				stats.FormatGB(uint64(h.Opt.BaseConfig.WriteLogBytes)),
+				fmt.Sprintf("%d", res.Compaction.Count),
+				res.Compaction.Mean().String(),
+			})
+		}
+		return t
+	}
 }
 
-// All runs every experiment in paper order.
-func (h *Harness) All() []Table {
-	return []Table{
-		h.Table1(),
-		h.Fig02(),
-		h.Fig03(),
-		h.Fig04(),
-		h.Fig05(),
-		h.Fig06(),
-		h.Fig09(),
-		h.Fig10(),
-		h.Fig14(),
-		h.Fig15(),
-		h.Fig16(),
-		h.Fig17(),
-		h.Fig18(),
-		h.Fig19(),
-		h.Fig20(),
-		h.Fig21(),
-		h.Fig22(),
-		h.Fig23(),
-		h.Table3(),
-		h.CostEffectiveness(),
-		h.WriteLogStats(),
+// planners lists every experiment's plan phase in paper order.
+func (h *Harness) planners() []planner {
+	return []planner{
+		h.table1,
+		h.fig02,
+		h.fig03,
+		h.fig04,
+		h.fig05,
+		h.fig06,
+		h.fig09,
+		h.fig10,
+		h.fig14,
+		h.fig15,
+		h.fig16,
+		h.fig17,
+		h.fig18,
+		h.fig19,
+		h.fig20,
+		h.fig21,
+		h.fig22,
+		h.fig23,
+		h.table3,
+		h.costEffectiveness,
+		h.writeLogStats,
 	}
+}
+
+// All runs every experiment in paper order as one campaign: the design
+// points of all figures and tables are planned first, de-duplicated,
+// executed once across the worker pool, and only then rendered. At
+// Parallelism N the sweep keeps N simulations in flight from start to
+// finish; the tables are byte-identical to a sequential run.
+func (h *Harness) All() []Table {
+	p := h.NewPlan()
+	var builds []func() Table
+	for _, f := range h.planners() {
+		builds = append(builds, f(p))
+	}
+	p.MustExecute()
+	tables := make([]Table, len(builds))
+	for i, b := range builds {
+		tables[i] = b()
+	}
+	return tables
 }
 
 // WriteAll renders every experiment to w.

@@ -1,0 +1,213 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"skybyte/internal/system"
+	"skybyte/internal/workloads"
+)
+
+// Event reports one completed simulation to OnEvent.
+type Event struct {
+	// Key is the executed spec's cache identity.
+	Key string
+	// Result is the completed measurement set.
+	Result *system.Result
+	// Wall is the host-side execution time of this run.
+	Wall time.Duration
+	// Done and Total report batch progress: Done counts specs completed
+	// so far in the current RunAll batch — executions and memoised
+	// recalls alike, so Done reaches Total when the batch settles. Both
+	// are zero for bare Run calls.
+	Done, Total int
+	// Cached marks a memoised recall: the Result was produced by an
+	// earlier execution (Wall is zero). Bare Run cache hits emit no
+	// event; batch hits do, for the progress accounting above.
+	Cached bool
+}
+
+// Runner executes Specs against one base machine configuration. It
+// memoizes by Spec.Key with singleflight semantics — concurrent callers
+// of an identical spec share one execution — and bounds concurrent
+// simulations with a worker pool of Parallelism slots.
+//
+// A Runner is safe for concurrent use. Results are cached for the
+// Runner's lifetime (a full paper campaign is a few hundred results).
+type Runner struct {
+	base        system.Config
+	seed        uint64
+	parallelism int
+	sem         chan struct{}
+
+	// OnEvent, when set, observes each simulation as it completes. It is
+	// invoked serially (never concurrently) but from worker goroutines,
+	// and only for executions — cache hits are silent. Set it before the
+	// first Run/RunAll call races with it.
+	OnEvent func(Event)
+
+	evMu sync.Mutex // serializes OnEvent and orders Done counts
+
+	mu   sync.Mutex
+	memo map[string]*call
+}
+
+// call is one singleflight execution slot.
+type call struct {
+	done chan struct{}
+	res  *system.Result
+	err  error
+}
+
+// New builds a runner over base. Workload streams are seeded with seed;
+// parallelism <= 0 means GOMAXPROCS.
+func New(base system.Config, seed uint64, parallelism int) *Runner {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		base:        base,
+		seed:        seed,
+		parallelism: parallelism,
+		sem:         make(chan struct{}, parallelism),
+		memo:        make(map[string]*call),
+	}
+}
+
+// Parallelism returns the pool size.
+func (r *Runner) Parallelism() int { return r.parallelism }
+
+// Run executes (or recalls) one spec. Concurrent calls with the same
+// Key share a single execution; the result is memoized forever after.
+// ctx only gates startup and waiting — a simulation that has begun runs
+// to completion (individual runs are short; the pool stays consistent).
+func (r *Runner) Run(ctx context.Context, spec Spec) (*system.Result, error) {
+	res, _, err := r.run(ctx, spec, 0, nil)
+	return res, err
+}
+
+// run is Run plus batch-progress plumbing: when counter is non-nil it is
+// incremented under evMu and reported as Event.Done out of total.
+func (r *Runner) run(ctx context.Context, spec Spec, total int, counter *int) (*system.Result, bool, error) {
+	key := spec.Key()
+	r.mu.Lock()
+	if c, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-c.done:
+			if c.err == nil && counter != nil {
+				r.emit(Event{Key: key, Result: c.res, Total: total, Cached: true}, counter)
+			}
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	r.memo[key] = c
+	r.mu.Unlock()
+
+	// Leader: take a pool slot, honoring cancellation while queued. The
+	// upfront Err check matters when both select cases are ready — an
+	// already-cancelled context must never start a simulation.
+	acquired := false
+	if ctx.Err() == nil {
+		select {
+		case r.sem <- struct{}{}:
+			acquired = true
+		case <-ctx.Done():
+		}
+	}
+	if !acquired {
+		c.err = ctx.Err()
+		r.forget(key)
+		close(c.done)
+		return nil, false, c.err
+	}
+	start := time.Now()
+	c.res, c.err = r.execute(spec, key)
+	wall := time.Since(start)
+	<-r.sem
+	if c.err != nil {
+		// Do not poison the cache: a later caller may retry (e.g. after
+		// fixing a workload name).
+		r.forget(key)
+	}
+	close(c.done)
+	if c.err == nil && (r.OnEvent != nil || counter != nil) {
+		r.emit(Event{Key: key, Result: c.res, Wall: wall, Total: total}, counter)
+	}
+	return c.res, false, c.err
+}
+
+func (r *Runner) forget(key string) {
+	r.mu.Lock()
+	delete(r.memo, key)
+	r.mu.Unlock()
+}
+
+// emit serializes OnEvent and stamps batch progress.
+func (r *Runner) emit(ev Event, counter *int) {
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	if counter != nil {
+		*counter++
+		ev.Done = *counter
+	}
+	if r.OnEvent != nil {
+		r.OnEvent(ev)
+	}
+}
+
+// RunAll executes every spec, de-duplicated, across the pool and returns
+// results positionally: results[i] corresponds to specs[i], whatever
+// order the workers finished in. The first error (unknown workload,
+// cancellation) is returned after all goroutines settle; results for
+// failed specs are nil.
+func (r *Runner) RunAll(ctx context.Context, specs []Spec) ([]*system.Result, error) {
+	results := make([]*system.Result, len(specs))
+	errs := make([]error, len(specs))
+	var counter int
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = r.run(ctx, specs[i], len(specs), &counter)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// execute performs one simulation: wire a fresh System from the mutated
+// variant config and drive every thread stream to retirement.
+func (r *Runner) execute(spec Spec, key string) (*system.Result, error) {
+	w, err := workloads.ByName(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.base.WithVariant(spec.Variant)
+	if spec.Mutate != nil {
+		spec.Mutate(&cfg)
+	}
+	threads := spec.Threads
+	if threads == 0 {
+		threads = ThreadsFor(cfg)
+	}
+	sys := system.New(cfg)
+	per := spec.TotalInstr / uint64(threads)
+	for i := 0; i < threads; i++ {
+		sys.AddThread(w.Stream(i, r.seed), per)
+	}
+	res := sys.Run()
+	res.CacheKey = key
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"skybyte/internal/system"
+)
+
+func testRunner(parallelism int) *Runner {
+	return New(system.ScaledConfig(), 7, parallelism)
+}
+
+func spec(workload string, v system.Variant, tag string) Spec {
+	return Spec{Workload: workload, Variant: v, TotalInstr: 24_000, Threads: 8, Tag: tag}
+}
+
+func TestKeyStable(t *testing.T) {
+	s := spec("bc", system.BaseCSSD, "x")
+	want := "bc|Base-CSSD|24000|8|x"
+	if s.Key() != want {
+		t.Fatalf("Key() = %q, want %q", s.Key(), want)
+	}
+	if spec("bc", system.BaseCSSD, "y").Key() == s.Key() {
+		t.Fatal("distinct tags must yield distinct keys")
+	}
+}
+
+func TestThreadsFor(t *testing.T) {
+	cfg := system.ScaledConfig()
+	if n := ThreadsFor(cfg.WithVariant(system.BaseCSSD)); n != cfg.Cores {
+		t.Errorf("BaseCSSD threads = %d, want %d", n, cfg.Cores)
+	}
+	if n := ThreadsFor(cfg.WithVariant(system.SkyByteFull)); n != 3*cfg.Cores {
+		t.Errorf("SkyByteFull threads = %d, want %d", n, 3*cfg.Cores)
+	}
+	if n := ThreadsFor(cfg.WithVariant(system.AstriFlashCXL)); n != 3*cfg.Cores {
+		t.Errorf("AstriFlashCXL threads = %d, want %d", n, 3*cfg.Cores)
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	r := testRunner(2)
+	execs := 0
+	r.OnEvent = func(Event) { execs++ }
+	a, err := r.Run(context.Background(), spec("bc", system.BaseCSSD, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(context.Background(), spec("bc", system.BaseCSSD, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Run of the same spec returned a different result")
+	}
+	if execs != 1 {
+		t.Fatalf("executed %d times, want 1", execs)
+	}
+	if a.CacheKey != spec("bc", system.BaseCSSD, "").Key() {
+		t.Fatalf("CacheKey = %q", a.CacheKey)
+	}
+}
+
+func TestRunAllDedupAndOrdering(t *testing.T) {
+	r := testRunner(4)
+	var mu sync.Mutex
+	execs, cached, lastDone := 0, 0, 0
+	r.OnEvent = func(ev Event) {
+		mu.Lock()
+		if ev.Cached {
+			cached++
+		} else {
+			execs++
+		}
+		if ev.Done > lastDone {
+			lastDone = ev.Done
+		}
+		if ev.Total != 4 {
+			t.Errorf("Event.Total = %d, want 4", ev.Total)
+		}
+		mu.Unlock()
+	}
+	specs := []Spec{
+		spec("bc", system.BaseCSSD, ""),
+		spec("srad", system.BaseCSSD, ""),
+		spec("bc", system.BaseCSSD, ""), // duplicate of [0]
+		spec("bc", system.DRAMOnly, ""),
+	}
+	res, err := r.RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, s := range specs {
+		if res[i] == nil || res[i].CacheKey != s.Key() {
+			t.Fatalf("results[%d] does not match specs[%d]", i, i)
+		}
+	}
+	if res[0] != res[2] {
+		t.Fatal("duplicate specs did not share one execution")
+	}
+	if execs != 3 {
+		t.Fatalf("executed %d simulations, want 3 (singleflight)", execs)
+	}
+	if cached != 1 {
+		t.Fatalf("cached recalls = %d, want 1 (the duplicate spec)", cached)
+	}
+	if lastDone != 4 {
+		t.Fatalf("final Event.Done = %d, want 4 (hits count toward progress)", lastDone)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	specs := []Spec{
+		spec("bc", system.BaseCSSD, ""),
+		spec("bc", system.SkyByteFull, ""),
+		spec("srad", system.BaseCSSD, ""),
+		spec("srad", system.SkyByteFull, ""),
+	}
+	seq, err := testRunner(1).RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := testRunner(8).RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if seq[i].ExecTime != par[i].ExecTime || seq[i].Instructions != par[i].Instructions ||
+			seq[i].LLCMisses != par[i].LLCMisses || seq[i].CtxSwitches != par[i].CtxSwitches {
+			t.Errorf("spec %d (%s): parallel run diverged from sequential", i, specs[i].Key())
+		}
+	}
+}
+
+func TestUnknownWorkloadErrorsWithoutPoisoning(t *testing.T) {
+	r := testRunner(1)
+	if _, err := r.Run(context.Background(), spec("nope", system.BaseCSSD, "")); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	// The failed key must not be cached: a good spec sharing the runner
+	// still works, and retrying the bad one re-reports the error.
+	if _, err := r.Run(context.Background(), spec("bc", system.BaseCSSD, "")); err != nil {
+		t.Fatalf("good spec failed after bad one: %v", err)
+	}
+	if _, err := r.Run(context.Background(), spec("nope", system.BaseCSSD, "")); err == nil {
+		t.Fatal("error was cached instead of re-evaluated")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := testRunner(1)
+	if _, err := r.Run(ctx, spec("bc", system.BaseCSSD, "")); err == nil {
+		t.Fatal("cancelled context did not stop the run")
+	}
+	// A fresh context retries cleanly.
+	if _, err := r.Run(context.Background(), spec("bc", system.BaseCSSD, "")); err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+}
+
+func TestRunAllConcurrentCallers(t *testing.T) {
+	// Two goroutines race identical batches through one runner: the
+	// singleflight layer must hand both the same memoized results.
+	r := testRunner(4)
+	specs := []Spec{
+		spec("bc", system.BaseCSSD, ""),
+		spec("srad", system.SkyByteFull, ""),
+	}
+	var wg sync.WaitGroup
+	out := make([][]*system.Result, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.RunAll(context.Background(), specs)
+			if err != nil {
+				t.Error(err)
+			}
+			out[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := range specs {
+		if out[0][i] != out[1][i] {
+			t.Fatalf("caller results diverge at %d", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package runner executes simulation design points across a bounded
+// worker pool. It is the execute half of the experiments layer's
+// plan/execute split: figures declare the Specs they need, the runner
+// de-duplicates them (singleflight memoization keyed by Spec.Key),
+// saturates up to Parallelism cores, and hands results back in the
+// caller's declaration order so every table renders byte-identically
+// regardless of how many workers raced to produce it.
+//
+// Safety rests on two properties, both load-bearing:
+//
+//   - A system.System (and every component it wires) keeps all mutable
+//     state per instance; distinct Systems may run on distinct
+//     goroutines concurrently (see the reentrancy note on system.New).
+//   - Each simulation is deterministic: the same Spec always yields the
+//     same measurements, so memoizing by key is sound.
+package runner
+
+import (
+	"fmt"
+
+	"skybyte/internal/system"
+)
+
+// Spec names one design point: a workload, a variant, a work budget, a
+// thread count, and an optional config mutation. Two Specs with equal
+// Key() are interchangeable; Mutate is deliberately excluded from the
+// identity, so callers must give every distinct mutation a distinct Tag.
+type Spec struct {
+	// Workload is a Table I benchmark name (resolved via workloads.ByName).
+	Workload string
+	// Variant is the design point applied to the base config.
+	Variant system.Variant
+	// TotalInstr is the total instruction budget, divided evenly among
+	// threads so every design point executes the same program section.
+	TotalInstr uint64
+	// Threads is the software thread count; 0 means the paper default
+	// (ThreadsFor) resolved after Mutate has run.
+	Threads int
+	// Tag distinguishes config mutations that share the same
+	// workload/variant/budget, e.g. "thr10" for a threshold sweep cell.
+	Tag string
+	// Mutate adjusts the variant config before the run (nil for none).
+	// It must be deterministic and is identified solely by Tag.
+	Mutate func(*system.Config)
+}
+
+// Key returns the spec's stable cache identity. The format matches the
+// memoization key the pre-runner harness used, so verbose logs stay
+// comparable across versions.
+func (s Spec) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%d|%s", s.Workload, s.Variant, s.TotalInstr, s.Threads, s.Tag)
+}
+
+// ThreadsFor resolves the paper's §VI-A thread default: 24 threads on 8
+// cores when the coordinated context switch (or the AstriFlash
+// user-level switching baseline) is enabled, 8 threads otherwise.
+func ThreadsFor(cfg system.Config) int {
+	if cfg.CtxSwitchEnabled || cfg.Migration == system.MigrationAstri {
+		return 3 * cfg.Cores
+	}
+	return cfg.Cores
+}

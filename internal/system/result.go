@@ -14,6 +14,13 @@ import (
 type Result struct {
 	Variant string
 
+	// CacheKey is the stable identity of the design point that produced
+	// this result (workload|variant|budget|threads|tag). The runner sets
+	// it when it executes a spec; a given key always maps to the same
+	// measurements because simulations are deterministic, which is what
+	// makes memoizing and de-duplicating runs by key sound.
+	CacheKey string
+
 	// ExecTime is when the last thread retired its final instruction.
 	ExecTime sim.Time
 	// Instructions is the total retired (each thread's trace length).

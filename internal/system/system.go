@@ -23,6 +23,17 @@ type MigrationStats struct {
 }
 
 // System is one fully wired simulated machine.
+//
+// Reentrancy: a System is single-threaded — its event engine and every
+// component it wires (cores, caches, scheduler, link, DRAMs, flash,
+// FTL, controller, migration state) live on the owning instance, and no
+// package in the simulator keeps mutable package-level state (the only
+// package-level vars anywhere are immutable presets such as
+// flash.TimingULL and system.AllVariants). Distinct System instances
+// may therefore be constructed and Run concurrently from different
+// goroutines; internal/runner relies on this to execute campaign design
+// points in parallel. A single instance must not be shared across
+// goroutines.
 type System struct {
 	Eng sim.Engine
 	cfg Config
@@ -63,7 +74,8 @@ type System struct {
 
 type astriFetch struct{ writeAccepts []func() }
 
-// New wires a system from cfg.
+// New wires a system from cfg. The returned System is independent of
+// every other instance and safe to Run on its own goroutine.
 func New(cfg Config) *System {
 	s := &System{cfg: cfg, promoted: make(map[uint64][]byte)}
 	s.link = cxl.New(&s.Eng, cfg.Link)

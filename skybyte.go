@@ -18,7 +18,16 @@
 //	fmt.Println(res.ExecTime, res.AMAT.Mean())
 //
 // The experiments API regenerates every table and figure of the paper's
-// evaluation; see NewExperiments and EXPERIMENTS.md.
+// evaluation; see NewExperiments and EXPERIMENTS.md. RunAll executes the
+// whole campaign as one de-duplicated batch across a worker pool sized
+// by ExperimentOptions.Parallelism — the tables are byte-identical at
+// any parallelism:
+//
+//	opt := skybyte.DefaultExperimentOptions()
+//	opt.Parallelism = runtime.GOMAXPROCS(0)
+//	for _, tab := range skybyte.RunAll(opt) {
+//		fmt.Println(tab.String())
+//	}
 package skybyte
 
 import (
@@ -100,7 +109,9 @@ func Run(cfg Config, w Workload, threads int, instrPerThread uint64, seed uint64
 	return sys.Run()
 }
 
-// ExperimentOptions scope an experiment campaign.
+// ExperimentOptions scope an experiment campaign, including Parallelism
+// (simulations in flight at once; 0 = GOMAXPROCS) and an optional
+// Progress callback.
 type ExperimentOptions = experiments.Options
 
 // Experiments regenerates the paper's tables and figures.
@@ -115,3 +126,10 @@ func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOp
 // NewExperiments builds an experiment harness; its Fig* and Table* methods
 // each regenerate one element of the paper's evaluation.
 func NewExperiments(opt ExperimentOptions) *Experiments { return experiments.NewHarness(opt) }
+
+// RunAll is the campaign entry point: it plans every figure and table of
+// the paper's evaluation, de-duplicates the design points, executes them
+// once across a worker pool of opt.Parallelism simulations (0 =
+// GOMAXPROCS), and returns the tables in paper order. Output is
+// byte-identical at any parallelism; only wall-clock changes.
+func RunAll(opt ExperimentOptions) []ExperimentTable { return NewExperiments(opt).All() }
