@@ -205,6 +205,13 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // full-sweep wall-clock at that parallelism, and runs/s the pool
 // throughput (on a multi-core host the GOMAXPROCS variant should
 // approach a linear multiple of the sequential one).
+//
+// The store=cold/store=warm pair measures the persistent result store:
+// cold pays every simulation plus the store writes; warm re-renders the
+// same campaign from the store alone — zero simulations, pure decode —
+// and its runs/s (design points recalled per wall second) is the
+// engineering figure of merit for amortized sweeps: it bounds how fast
+// any shard-merge or CI re-render can go.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	opt := experiments.DefaultOptions()
 	opt.Workloads = []string{"bc", "srad", "ycsb"}
@@ -227,4 +234,34 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 			b.ReportMetric(float64(runs.Load())/b.Elapsed().Seconds(), "runs/s")
 		})
 	}
+
+	b.Run("store=cold", func(b *testing.B) {
+		var runs atomic.Int64
+		for i := 0; i < b.N; i++ {
+			o := opt
+			o.CacheDir = b.TempDir() // fresh store every iteration
+			h := experiments.NewHarness(o)
+			h.Verbose = func(string, *system.Result) { runs.Add(1) }
+			h.All()
+		}
+		b.ReportMetric(float64(runs.Load())/b.Elapsed().Seconds(), "runs/s")
+	})
+
+	b.Run("store=warm", func(b *testing.B) {
+		o := opt
+		o.CacheDir = b.TempDir()
+		experiments.NewHarness(o).All() // populate once, untimed
+		var recalls, sims atomic.Int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := experiments.NewHarness(o)
+			h.Verbose = func(string, *system.Result) { sims.Add(1) }
+			h.Opt.Progress = func(done, total int, key string) { recalls.Add(1) }
+			h.All()
+		}
+		if sims.Load() != 0 {
+			b.Fatalf("warm campaign ran %d simulations, want 0", sims.Load())
+		}
+		b.ReportMetric(float64(recalls.Load())/b.Elapsed().Seconds(), "runs/s")
+	})
 }

@@ -9,31 +9,51 @@
 //	skybyte-bench -parallel 1          # sequential (same bytes, slower)
 //	skybyte-bench -workloads bc,ycsb -instr 200000
 //	skybyte-bench -config              # print the Table II configurations
+//
+// With -cache-dir, executed design points persist in a
+// content-addressed result store: a repeated invocation recalls them
+// instead of re-simulating (zero simulations, identical bytes). The
+// store also makes campaigns shardable across processes or machines:
+//
+//	skybyte-bench -cache-dir .cache -shard 0/2   # machine A
+//	skybyte-bench -cache-dir .cache -shard 1/2   # machine B
+//	skybyte-bench -cache-dir .cache -from-cache  # render, zero simulations
+//
+// -fingerprint prints the campaign's store identity (for external
+// cache keys, e.g. CI's actions/cache).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"skybyte"
 	"skybyte/internal/experiments"
+	"skybyte/internal/runner"
 	"skybyte/internal/stats"
 	"skybyte/internal/system"
+	"skybyte/internal/workloads"
 )
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", "experiment to run: all, table1, fig02..fig23, table3, cost, writelog")
-		workloads = flag.String("workloads", "", "comma-separated benchmark subset (default: all of Table I)")
-		instr     = flag.Uint64("instr", 0, "total instructions per run (default 384000)")
-		parallel  = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS, 1 = sequential; tables are identical either way)")
-		progress  = flag.Bool("progress", false, "report batch progress as runs complete")
-		verbose   = flag.Bool("v", false, "log each simulation as it completes")
-		showCfg   = flag.Bool("config", false, "print the Table II configurations and exit")
+		figure      = flag.String("figure", "all", "experiment to run: all, "+strings.Join(experiments.IDs(), ", "))
+		workloadCSV = flag.String("workloads", "", "comma-separated benchmark subset (default: all of Table I)")
+		instr       = flag.Uint64("instr", 0, "total instructions per run (default 384000)")
+		parallel    = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS, 1 = sequential; tables are identical either way)")
+		progress    = flag.Bool("progress", false, "report batch progress as runs complete")
+		verbose     = flag.Bool("v", false, "log each simulation as it completes")
+		showCfg     = flag.Bool("config", false, "print the Table II configurations and exit")
+		cacheDir    = flag.String("cache-dir", "", "persist results in a content-addressed store rooted here; cached design points are recalled, not re-simulated")
+		shard       = flag.String("shard", "", "execute only slice i of n (format i/n, 0-based) of the campaign into -cache-dir; render later with -from-cache")
+		fromCache   = flag.Bool("from-cache", false, "render exclusively from -cache-dir: a missing design point is an error, never a re-simulation")
+		fingerprint = flag.Bool("fingerprint", false, "print the campaign's store fingerprint (config+seed identity) and exit")
 	)
 	flag.Parse()
 
@@ -47,10 +67,60 @@ func main() {
 		opt.TotalInstr = *instr
 		opt.SweepInstr = *instr / 2
 	}
-	if *workloads != "" {
-		opt.Workloads = strings.Split(*workloads, ",")
+	if *workloadCSV != "" {
+		opt.Workloads = strings.Split(*workloadCSV, ",")
+	}
+	// Validate every workload and figure name before any simulation
+	// runs: a typo must not leave a partially executed campaign behind.
+	for _, name := range opt.Workloads {
+		if _, err := workloads.ByName(name); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *figure != "all" && !validFigure(*figure) {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; one of: all %s\n", *figure, strings.Join(experiments.IDs(), " "))
+		os.Exit(2)
 	}
 	opt.Parallelism = *parallel
+
+	if *fingerprint {
+		fmt.Println(skybyte.CampaignFingerprint(opt))
+		return
+	}
+
+	opt.CacheDir = *cacheDir
+	opt.FromCache = *fromCache
+	if opt.FromCache && opt.CacheDir == "" {
+		fmt.Fprintln(os.Stderr, "-from-cache requires -cache-dir")
+		os.Exit(2)
+	}
+	if *shard != "" {
+		if opt.CacheDir == "" {
+			fmt.Fprintln(os.Stderr, "-shard requires -cache-dir (an unpersisted shard is wasted work)")
+			os.Exit(2)
+		}
+		if opt.FromCache {
+			fmt.Fprintln(os.Stderr, "-shard executes, -from-cache renders; use one at a time")
+			os.Exit(2)
+		}
+		if *figure != "all" {
+			fmt.Fprintln(os.Stderr, "-shard slices the full campaign; it cannot be combined with -figure")
+			os.Exit(2)
+		}
+		var err error
+		if opt.Shard, opt.ShardCount, err = runner.ParseShard(*shard); err != nil {
+			fmt.Fprintf(os.Stderr, "-shard: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if opt.CacheDir != "" {
+		if err := os.MkdirAll(opt.CacheDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create -cache-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *progress {
 		opt.Progress = func(done, total int, key string) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, key)
@@ -63,31 +133,60 @@ func main() {
 		}
 	}
 
-	run := map[string]func() experiments.Table{
-		"table1": h.Table1, "fig02": h.Fig02, "fig03": h.Fig03, "fig04": h.Fig04,
-		"fig05": h.Fig05, "fig06": h.Fig06, "fig09": h.Fig09, "fig10": h.Fig10,
-		"fig14": h.Fig14, "fig15": h.Fig15, "fig16": h.Fig16, "fig17": h.Fig17,
-		"fig18": h.Fig18, "fig19": h.Fig19, "fig20": h.Fig20, "fig21": h.Fig21,
-		"fig22": h.Fig22, "fig23": h.Fig23, "table3": h.Table3,
-		"cost": h.CostEffectiveness, "writelog": h.WriteLogStats,
-	}
-
 	start := time.Now()
-	if *figure == "all" {
-		h.WriteAll(os.Stdout)
-	} else {
-		f, ok := run[*figure]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q; one of: all table1 fig02 fig03 fig04 fig05 fig06 fig09 fig10 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 table3 cost writelog\n", *figure)
-			os.Exit(2)
+	switch {
+	case *shard != "":
+		// Verbose fires once per actual simulation (store recalls are
+		// silent), so the count distinguishes real work from a warm
+		// no-op re-run of the shard.
+		var sims atomic.Int64
+		userVerbose := h.Verbose
+		h.Verbose = func(key string, r *system.Result) {
+			sims.Add(1)
+			if userVerbose != nil {
+				userVerbose(key, r)
+			}
 		}
-		fmt.Println(f().String())
+		processed, total, err := h.RunShard(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("shard %d/%d: %d of %d design points into %s (%d simulated, %d recalled)\n",
+			opt.Shard, opt.ShardCount, processed, total, opt.CacheDir, sims.Load(), int64(processed)-sims.Load())
+	case *figure == "all":
+		tables, err := h.AllErr(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	default:
+		tab, err := h.Render(context.Background(), *figure)
+		if err != nil {
+			// The id was validated upfront, so this is a runtime failure
+			// (e.g. a store miss under -from-cache), not a usage error.
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
 	}
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	fmt.Fprintf(os.Stderr, "completed in %v (%d workers)\n", time.Since(start).Round(time.Millisecond), workers)
+}
+
+func validFigure(id string) bool {
+	for _, known := range experiments.IDs() {
+		if id == known {
+			return true
+		}
+	}
+	return false
 }
 
 func printConfigs() {

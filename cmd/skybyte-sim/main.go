@@ -11,6 +11,15 @@
 // the shared worker pool and print as one comparison:
 //
 //	skybyte-sim -workload tpcc -variants Base-CSSD,SkyByte-W,SkyByte-Full
+//
+// With -cache-dir, completed runs persist in the content-addressed
+// result store and later invocations (same workload, variant, knobs,
+// and seed) recall them instead of re-simulating. A comparison can be
+// split across machines sharing a store and merged without simulating:
+//
+//	skybyte-sim -workload tpcc -variants Base-CSSD,SkyByte-Full -cache-dir .c -shard 0/2
+//	skybyte-sim -workload tpcc -variants Base-CSSD,SkyByte-Full -cache-dir .c -shard 1/2
+//	skybyte-sim -workload tpcc -variants Base-CSSD,SkyByte-Full -cache-dir .c -from-cache
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"skybyte"
@@ -26,6 +36,8 @@ import (
 	"skybyte/internal/runner"
 	"skybyte/internal/sim"
 	"skybyte/internal/stats"
+	"skybyte/internal/store"
+	"skybyte/internal/system"
 )
 
 func main() {
@@ -42,20 +54,59 @@ func main() {
 		cacheMB   = flag.Int("ssd-dram-mb", 0, "override total SSD DRAM size in MiB (artifact knob ssd_cache_size_byte)")
 		logKB     = flag.Int("write-log-kb", 0, "override write log size in KiB")
 		paper     = flag.Bool("paper-scale", false, "use Table II capacities verbatim instead of the 1/64 scaled machine")
+		cacheDir  = flag.String("cache-dir", "", "persist results in the content-addressed store rooted here; identical runs are recalled, not re-simulated")
+		shardSpec = flag.String("shard", "", "with -variants and -cache-dir: execute only slice i of n (format i/n) of the comparison")
+		fromCache = flag.Bool("from-cache", false, "with -variants and -cache-dir: render from the store only; a missing run is an error")
 	)
 	flag.Parse()
 
-	w, err := skybyte.WorkloadByName(*workload)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	// Validate every name before anything simulates: a typo must list
+	// the valid values and change nothing.
+	w, err := skybyte.WorkloadByName(*workload)
+	if err != nil {
+		fail(err)
+	}
+	var variantList []system.Variant
+	if *variants != "" {
+		for _, name := range strings.Split(*variants, ",") {
+			v, err := system.ParseVariant(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			variantList = append(variantList, v)
+		}
+	} else if _, err := system.ParseVariant(*variant); err != nil {
+		fail(err)
+	}
+	if (*shardSpec != "" || *fromCache) && *cacheDir == "" {
+		fail(fmt.Errorf("-shard and -from-cache require -cache-dir"))
+	}
+	if (*shardSpec != "" || *fromCache) && *variants == "" {
+		fail(fmt.Errorf("-shard and -from-cache apply to the -variants comparison"))
+	}
+	shardI, shardN := 0, 1
+	if *shardSpec != "" {
+		var err error
+		if shardI, shardN, err = runner.ParseShard(*shardSpec); err != nil {
+			fail(fmt.Errorf("-shard: %w", err))
+		}
+	}
+
 	base := skybyte.ScaledConfig()
 	if *paper {
 		base = skybyte.PaperConfig()
 	}
 	// knobs applies the CLI overrides on top of a variant config; the
-	// comparison path reuses it as the runner's config mutation.
+	// runner paths reuse it as the spec's config mutation. knobTag
+	// folds the knob values into the spec identity, so runs with
+	// different CLI settings never collide in a persistent store
+	// (mutations are excluded from Spec.Key by design; the tag carries
+	// them).
 	knobs := func(c *skybyte.Config) {
 		c.HintThreshold = sim.Time(threshold.Nanoseconds()) * sim.Nanosecond
 		c.Policy = osched.PolicyKind(*policy)
@@ -66,9 +117,24 @@ func main() {
 			c.WriteLogBytes = *logKB << 10
 		}
 	}
+	knobTag := fmt.Sprintf("cli|thr=%v|pol=%s|dram=%dMB|log=%dKB", *threshold, *policy, *cacheMB, *logKB)
+
+	newRunner := func(parallelism int) *runner.Runner {
+		r := runner.New(base, *seed, parallelism)
+		if *cacheDir != "" {
+			disk, err := store.Open(*cacheDir, store.Fingerprint(base, *seed))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			r.Store = disk
+			r.CacheOnly = *fromCache
+		}
+		return r
+	}
 
 	if *variants != "" {
-		compareVariants(base, w, strings.Split(*variants, ","), *threads, *instr, *seed, *parallel, knobs)
+		compareVariants(newRunner(*parallel), base, w, variantList, *threads, *instr, knobTag, knobs, shardI, shardN, *shardSpec != "")
 		return
 	}
 
@@ -76,14 +142,31 @@ func main() {
 	knobs(&cfg)
 	n := *threads
 	if n == 0 {
-		n = 8
-		if cfg.CtxSwitchEnabled {
-			n = 24
-		}
+		// Same paper default as the comparison path, so both modes
+		// measure — and, with -cache-dir, share — the same design point.
+		n = runner.ThreadsFor(cfg)
 	}
 
 	start := time.Now()
-	res := skybyte.Run(cfg, w, n, *instr, *seed)
+	var res *skybyte.Result
+	if *cacheDir == "" {
+		res = skybyte.Run(cfg, w, n, *instr, *seed)
+	} else {
+		// Route through the runner so the store is consulted and fed.
+		r := newRunner(1)
+		res, err = r.Run(context.Background(), runner.Spec{
+			Workload:   w.Name,
+			Variant:    skybyte.Variant(*variant),
+			TotalInstr: *instr * uint64(n),
+			Threads:    n,
+			Tag:        knobTag,
+			Mutate:     knobs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	wall := time.Since(start)
 
 	fmt.Printf("workload        %s (%s footprint, paper MPKI %.1f)\n", w.Name, stats.FormatGB(w.FootprintBytes()), w.PaperMPKI)
@@ -124,11 +207,12 @@ func main() {
 // normalized to the first variant listed). Every thread receives the
 // same per-thread instruction budget, so variants with different paper
 // thread defaults still execute comparable program sections per thread.
-func compareVariants(base skybyte.Config, w skybyte.Workload, names []string, threads int, instrPerThread, seed uint64, parallel int, knobs func(*skybyte.Config)) {
-	r := runner.New(base, seed, parallel)
-	specs := make([]runner.Spec, len(names))
-	for i, name := range names {
-		v := skybyte.Variant(strings.TrimSpace(name))
+// With sharding, only the i-th of n slices executes (populating the
+// store) and no table prints; -from-cache later renders the full
+// comparison without simulating.
+func compareVariants(r *runner.Runner, base skybyte.Config, w skybyte.Workload, vs []system.Variant, threads int, instrPerThread uint64, knobTag string, knobs func(*skybyte.Config), shardI, shardN int, sharded bool) {
+	specs := make([]runner.Spec, len(vs))
+	for i, v := range vs {
 		n := threads
 		if n == 0 {
 			vcfg := base.WithVariant(v)
@@ -140,18 +224,33 @@ func compareVariants(base skybyte.Config, w skybyte.Workload, names []string, th
 			Variant:    v,
 			TotalInstr: instrPerThread * uint64(n),
 			Threads:    n,
-			Tag:        "cli",
+			Tag:        knobTag,
 			Mutate:     knobs,
 		}
 	}
+	run := specs
+	if sharded {
+		run = runner.ShardSpecs(specs, shardI, shardN)
+	}
+	var sims atomic.Int64
+	r.OnEvent = func(ev runner.Event) {
+		if !ev.Cached {
+			sims.Add(1)
+		}
+	}
 	start := time.Now()
-	results, err := r.RunAll(context.Background(), specs)
+	results, err := r.RunAll(context.Background(), run)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
 	wall := time.Since(start)
 
+	if sharded {
+		fmt.Printf("shard %d/%d: %d of %d %s design points in the store (%d simulated, %d recalled; wall %v)\n",
+			shardI, shardN, len(run), len(specs), w.Name, sims.Load(), int64(len(run))-sims.Load(), wall.Round(time.Millisecond))
+		return
+	}
 	fmt.Printf("workload %s, %d instr/thread, %d workers (wall %v)\n\n",
 		w.Name, instrPerThread, r.Parallelism(), wall.Round(time.Millisecond))
 	fmt.Printf("%-16s %8s %14s %8s %12s %10s %8s\n",

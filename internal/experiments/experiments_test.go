@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -177,6 +178,146 @@ func TestCampaignParallelDeterminism(t *testing.T) {
 		if seq[i] != par[i] {
 			t.Errorf("table %d differs between Parallelism 1 and 8:\n--- sequential ---\n%s--- parallel ---\n%s", i, seq[i], par[i])
 		}
+	}
+}
+
+// renderAll renders every campaign table to one string per table.
+func renderAll(t *testing.T, h *Harness) []string {
+	t.Helper()
+	tables, err := h.AllErr(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(tables))
+	for i, tab := range tables {
+		out[i] = tab.String()
+	}
+	return out
+}
+
+func shardOptions(cacheDir string) Options {
+	o := tinyOptions()
+	o.TotalInstr = 48_000
+	o.SweepInstr = 24_000
+	o.CacheDir = cacheDir
+	return o
+}
+
+// TestShardMergeDeterminism is the acceptance contract of the sharded
+// store: a campaign split into 4 shards, executed by 4 independent
+// harnesses into one store, then rendered from cache by a fifth that
+// simulated nothing, must produce byte-identical tables to a direct
+// unsharded (and storeless) run — and so must a 1-shard run.
+func TestShardMergeDeterminism(t *testing.T) {
+	direct := func() []string {
+		o := tinyOptions()
+		o.TotalInstr = 48_000
+		o.SweepInstr = 24_000
+		return renderAll(t, NewHarness(o))
+	}()
+
+	for _, shards := range []int{1, 4} {
+		dir := t.TempDir()
+		total := 0
+		for i := 0; i < shards; i++ {
+			o := shardOptions(dir)
+			o.Shard, o.ShardCount = i, shards
+			h := NewHarness(o)
+			executed, planned, err := h.RunShard(context.Background())
+			if err != nil {
+				t.Fatalf("%d shards: shard %d: %v", shards, i, err)
+			}
+			total += executed
+			if planned == 0 {
+				t.Fatalf("%d shards: shard %d planned nothing", shards, i)
+			}
+		}
+
+		o := shardOptions(dir)
+		o.FromCache = true
+		h := NewHarness(o)
+		sims := 0
+		h.Verbose = func(string, *system.Result) { sims++ }
+		merged := renderAll(t, h)
+		if sims != 0 {
+			t.Fatalf("%d shards: render-from-cache simulated %d times", shards, sims)
+		}
+		if len(merged) != len(direct) {
+			t.Fatalf("%d shards: table counts differ: %d vs %d", shards, len(merged), len(direct))
+		}
+		for i := range direct {
+			if merged[i] != direct[i] {
+				t.Errorf("%d shards: table %d differs from the direct run:\n--- direct ---\n%s--- merged ---\n%s",
+					shards, i, direct[i], merged[i])
+			}
+		}
+	}
+}
+
+// TestShardsPartitionThePlan pins the slice arithmetic: shards are
+// disjoint, contiguous, cover the whole de-duplicated plan, and are
+// identical however many processes compute them.
+func TestShardsPartitionThePlan(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	p, _ := h.planAll()
+	n := 5
+	covered := 0
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		for _, s := range p.Shard(i, n) {
+			if seen[s.Key()] {
+				t.Fatalf("spec %s appears in two shards", s.Key())
+			}
+			seen[s.Key()] = true
+			covered++
+		}
+	}
+	if covered != p.Size() {
+		t.Fatalf("shards cover %d of %d specs", covered, p.Size())
+	}
+	if p.Shard(0, 1); len(p.Shard(0, 1)) != p.Size() {
+		t.Fatal("1-shard slice is not the whole plan")
+	}
+}
+
+// TestWarmStoreSkipsAllSimulations: re-running a campaign against the
+// store it populated performs zero simulations and renders identical
+// bytes — the headline warm-run speedup is pure recall.
+func TestWarmStoreSkipsAllSimulations(t *testing.T) {
+	dir := t.TempDir()
+	cold := renderAll(t, NewHarness(shardOptions(dir)))
+
+	h := NewHarness(shardOptions(dir))
+	sims := 0
+	h.Verbose = func(string, *system.Result) { sims++ }
+	warm := renderAll(t, h)
+	if sims != 0 {
+		t.Fatalf("warm campaign simulated %d times, want 0", sims)
+	}
+	for i := range cold {
+		if warm[i] != cold[i] {
+			t.Errorf("table %d differs between cold and warm runs", i)
+		}
+	}
+}
+
+// TestForeignStoreIsInvisible: a store populated under a different
+// seed (hence fingerprint) must not serve a single result — the
+// campaign re-simulates everything rather than render wrong tables.
+func TestForeignStoreIsInvisible(t *testing.T) {
+	dir := t.TempDir()
+	o := shardOptions(dir)
+	o.Workloads = []string{"bc"}
+	NewHarness(o).Fig02()
+
+	o2 := o
+	o2.Seed = o.Seed + 1
+	h := NewHarness(o2)
+	sims := 0
+	h.Verbose = func(string, *system.Result) { sims++ }
+	h.Fig02()
+	if sims == 0 {
+		t.Fatal("campaign with a different seed recalled foreign store entries")
 	}
 }
 

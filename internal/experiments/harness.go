@@ -23,6 +23,7 @@ import (
 
 	"skybyte/internal/mem"
 	"skybyte/internal/runner"
+	"skybyte/internal/store"
 	"skybyte/internal/system"
 	"skybyte/internal/workloads"
 )
@@ -48,6 +49,23 @@ type Options struct {
 	// planned batch, plus the just-finished run's key. It is called
 	// serially from worker goroutines.
 	Progress func(done, total int, key string)
+	// CacheDir, when set, backs the campaign with the persistent
+	// content-addressed result store (internal/store) rooted there,
+	// keyed by the fingerprint of BaseConfig+Seed: executed results
+	// persist across invocations, and cached design points are decoded
+	// instead of re-simulated. Shards sharing a campaign share one
+	// CacheDir.
+	CacheDir string
+	// FromCache renders exclusively from CacheDir: a design point
+	// missing from the store is an error instead of a simulation. This
+	// is the merge path — render tables on a machine that ran none of
+	// the shards. Requires CacheDir.
+	FromCache bool
+	// Shard and ShardCount split a campaign: RunShard executes only the
+	// Shard-th (0-based) of ShardCount deterministic slices of the
+	// de-duplicated design points, persisting into CacheDir. A full
+	// render needs every shard's results merged into one store.
+	Shard, ShardCount int
 }
 
 // DefaultOptions returns a campaign sized to run a full sweep in minutes.
@@ -69,6 +87,10 @@ func DefaultOptions() Options {
 type Harness struct {
 	Opt Options
 	run *runner.Runner
+	// storeErr defers a CacheDir/FromCache misconfiguration (unwritable
+	// directory, FromCache without CacheDir) to execution time, where
+	// the error-returning paths can report it.
+	storeErr error
 	// Verbose, when set, logs each run as it completes (executions only;
 	// memoised recalls are silent). Calls are serialized but may come
 	// from worker goroutines.
@@ -78,7 +100,9 @@ type Harness struct {
 // NewHarness builds a harness. Zero-valued Options fields take their
 // DefaultOptions values field by field, so setting e.g. only Workloads
 // and Parallelism scopes the campaign without losing the default
-// budgets.
+// budgets. An Options.CacheDir that cannot be created is reported when
+// the campaign first executes: as an error from the error-returning
+// paths (AllErr, RunShard, Render), as a panic from the Must ones.
 func NewHarness(opt Options) *Harness {
 	def := DefaultOptions()
 	if opt.BaseConfig.Cores == 0 {
@@ -98,6 +122,20 @@ func NewHarness(opt Options) *Harness {
 	}
 	h := &Harness{Opt: opt}
 	h.run = runner.New(opt.BaseConfig, opt.Seed, opt.Parallelism)
+	if opt.CacheDir != "" {
+		disk, err := store.Open(opt.CacheDir, store.Fingerprint(opt.BaseConfig, opt.Seed))
+		if err != nil {
+			// Environmental, not programmer error: surface it when the
+			// campaign first executes, so the error-returning paths
+			// (AllErr, RunShard, Render) report it instead of panicking.
+			h.storeErr = err
+		} else {
+			h.run.Store = disk
+			h.run.CacheOnly = opt.FromCache
+		}
+	} else if opt.FromCache {
+		h.storeErr = fmt.Errorf("experiments: Options.FromCache requires Options.CacheDir")
+	}
 	h.run.OnEvent = func(ev runner.Event) {
 		if h.Verbose != nil && !ev.Cached {
 			h.Verbose(ev.Key, ev.Result)
@@ -189,16 +227,40 @@ func (p *Plan) Run(spec workloads.Spec, v system.Variant, totalInstr uint64, thr
 // Size returns the number of unique design points planned so far.
 func (p *Plan) Size() int { return len(p.specs) }
 
-// MustExecute runs the batch across the worker pool. It panics on the
-// only possible failures — an unknown workload name or a cancelled
-// context — both programming errors at this layer.
-func (p *Plan) MustExecute() {
-	res, err := p.h.run.RunAll(context.Background(), p.specs)
+// Shard returns the i-th of n deterministic, contiguous, balanced
+// slices of the de-duplicated design points planned so far. Because a
+// Plan accumulates specs in declaration order — which is itself
+// deterministic — every process planning the same campaign computes
+// identical shards: slice boundaries line up across machines without
+// any coordination beyond (i, n).
+func (p *Plan) Shard(i, n int) []runner.Spec {
+	return runner.ShardSpecs(p.specs, i, n)
+}
+
+// Execute runs the batch across the worker pool. The possible failures
+// are an unknown workload name, a cancelled context, a store that
+// could not be opened, or — in render-from-cache mode — a design point
+// missing from the store.
+func (p *Plan) Execute(ctx context.Context) error {
+	if p.h.storeErr != nil {
+		return p.h.storeErr
+	}
+	res, err := p.h.run.RunAll(ctx, p.specs)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	p.res = res
 	p.done = true
+	return nil
+}
+
+// MustExecute is Execute with a background context, panicking on
+// failure — the right call when specs came from vetted planners and no
+// store is involved.
+func (p *Plan) MustExecute() {
+	if err := p.Execute(context.Background()); err != nil {
+		panic(err)
+	}
 }
 
 // planner is one figure's plan phase: it declares runs on p and returns

@@ -1,8 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
+	"strings"
 
 	"skybyte/internal/stats"
 	"skybyte/internal/system"
@@ -167,55 +168,149 @@ func (h *Harness) writeLogStats(p *Plan) func() Table {
 	}
 }
 
+// catalog lists every experiment in paper order, keyed by the id its
+// Table carries (and the one the CLIs accept).
+func (h *Harness) catalog() []struct {
+	id   string
+	plan planner
+} {
+	return []struct {
+		id   string
+		plan planner
+	}{
+		{"table1", h.table1},
+		{"fig02", h.fig02},
+		{"fig03", h.fig03},
+		{"fig04", h.fig04},
+		{"fig05", h.fig05},
+		{"fig06", h.fig06},
+		{"fig09", h.fig09},
+		{"fig10", h.fig10},
+		{"fig14", h.fig14},
+		{"fig15", h.fig15},
+		{"fig16", h.fig16},
+		{"fig17", h.fig17},
+		{"fig18", h.fig18},
+		{"fig19", h.fig19},
+		{"fig20", h.fig20},
+		{"fig21", h.fig21},
+		{"fig22", h.fig22},
+		{"fig23", h.fig23},
+		{"table3", h.table3},
+		{"cost", h.costEffectiveness},
+		{"writelog", h.writeLogStats},
+	}
+}
+
 // planners lists every experiment's plan phase in paper order.
 func (h *Harness) planners() []planner {
-	return []planner{
-		h.table1,
-		h.fig02,
-		h.fig03,
-		h.fig04,
-		h.fig05,
-		h.fig06,
-		h.fig09,
-		h.fig10,
-		h.fig14,
-		h.fig15,
-		h.fig16,
-		h.fig17,
-		h.fig18,
-		h.fig19,
-		h.fig20,
-		h.fig21,
-		h.fig22,
-		h.fig23,
-		h.table3,
-		h.costEffectiveness,
-		h.writeLogStats,
+	cat := h.catalog()
+	out := make([]planner, len(cat))
+	for i, c := range cat {
+		out[i] = c.plan
 	}
+	return out
+}
+
+// IDs returns the valid experiment ids in paper order.
+func IDs() []string {
+	var h Harness
+	cat := h.catalog()
+	out := make([]string, len(cat))
+	for i, c := range cat {
+		out[i] = c.id
+	}
+	return out
+}
+
+// Render runs one experiment by id with error reporting: an unknown id
+// lists the valid ones, and in render-from-cache mode a design point
+// missing from the store surfaces as an error instead of a panic.
+func (h *Harness) Render(ctx context.Context, id string) (Table, error) {
+	for _, c := range h.catalog() {
+		if c.id != id {
+			continue
+		}
+		p := h.NewPlan()
+		build := c.plan(p)
+		if err := p.Execute(ctx); err != nil {
+			return Table{}, err
+		}
+		return build(), nil
+	}
+	return Table{}, fmt.Errorf("experiments: unknown experiment %q (valid: all %s)", id, strings.Join(IDs(), " "))
+}
+
+// planAll plans every experiment in paper order into one de-duplicated
+// batch and returns the plan plus the deferred table builders.
+func (h *Harness) planAll() (*Plan, []func() Table) {
+	p := h.NewPlan()
+	var builds []func() Table
+	for _, f := range h.planners() {
+		builds = append(builds, f(p))
+	}
+	return p, builds
 }
 
 // All runs every experiment in paper order as one campaign: the design
 // points of all figures and tables are planned first, de-duplicated,
 // executed once across the worker pool, and only then rendered. At
 // Parallelism N the sweep keeps N simulations in flight from start to
-// finish; the tables are byte-identical to a sequential run.
+// finish; the tables are byte-identical to a sequential run — and,
+// with a result store attached, byte-identical whether the results
+// were simulated here, recalled from a warm store, or merged from
+// shards executed elsewhere.
 func (h *Harness) All() []Table {
-	p := h.NewPlan()
-	var builds []func() Table
-	for _, f := range h.planners() {
-		builds = append(builds, f(p))
-	}
-	p.MustExecute()
-	tables := make([]Table, len(builds))
-	for i, b := range builds {
-		tables[i] = b()
+	tables, err := h.AllErr(context.Background())
+	if err != nil {
+		panic(err)
 	}
 	return tables
 }
 
-// WriteAll renders every experiment to w.
-func (h *Harness) WriteAll(w io.Writer) {
-	for _, t := range h.All() {
-		fmt.Fprintln(w, t.String())
+// AllErr is All with error reporting, required on the paths where
+// failure is environmental rather than programmer error — above all
+// render-from-cache, where a design point missing from the store means
+// a shard has not run yet.
+func (h *Harness) AllErr(ctx context.Context) ([]Table, error) {
+	p, builds := h.planAll()
+	if err := p.Execute(ctx); err != nil {
+		return nil, err
 	}
+	tables := make([]Table, len(builds))
+	for i, b := range builds {
+		tables[i] = b()
+	}
+	return tables, nil
+}
+
+// RunShard plans the full campaign, de-duplicates it exactly as All
+// does, and executes only the Opt.Shard-th of Opt.ShardCount slices,
+// persisting results into the store (Opt.CacheDir is required — an
+// unpersisted shard would be wasted work). No tables are rendered;
+// once every shard has run against a shared (or later merged) store,
+// any machine renders the campaign with FromCache. Returns the
+// processed and total design-point counts; processed includes warm
+// recalls from the store (observe Verbose, which fires only for real
+// simulations, to tell them apart).
+func (h *Harness) RunShard(ctx context.Context) (processed, total int, err error) {
+	if h.storeErr != nil {
+		return 0, 0, h.storeErr
+	}
+	if h.run.Store == nil {
+		return 0, 0, fmt.Errorf("experiments: RunShard requires Options.CacheDir")
+	}
+	n := h.Opt.ShardCount
+	if n <= 0 {
+		n = 1
+	}
+	if h.Opt.Shard < 0 || h.Opt.Shard >= n {
+		return 0, 0, fmt.Errorf("experiments: shard %d out of range 0..%d", h.Opt.Shard, n-1)
+	}
+	p, _ := h.planAll()
+	slice := p.Shard(h.Opt.Shard, n)
+	if _, err := h.run.RunAll(ctx, slice); err != nil {
+		return 0, 0, err
+	}
+	return len(slice), p.Size(), nil
 }

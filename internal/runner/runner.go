@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -23,10 +24,14 @@ type Event struct {
 	// recalls alike, so Done reaches Total when the batch settles. Both
 	// are zero for bare Run calls.
 	Done, Total int
-	// Cached marks a memoised recall: the Result was produced by an
-	// earlier execution (Wall is zero). Bare Run cache hits emit no
-	// event; batch hits do, for the progress accounting above.
+	// Cached marks a recall: the Result was produced by an earlier
+	// execution (Wall is zero) — either this runner's memo or, when
+	// Stored is also set, the persistent Store. Bare Run memo hits emit
+	// no event; batch hits do, for the progress accounting above.
 	Cached bool
+	// Stored marks a persistent-store hit: no simulation ran, the
+	// result was decoded from Runner.Store.
+	Stored bool
 }
 
 // Runner executes Specs against one base machine configuration. It
@@ -34,24 +39,44 @@ type Event struct {
 // of an identical spec share one execution — and bounds concurrent
 // simulations with a worker pool of Parallelism slots.
 //
-// A Runner is safe for concurrent use. Results are cached for the
-// Runner's lifetime (a full paper campaign is a few hundred results).
+// Completed results live in an in-memory Store (a MemStore) for the
+// Runner's lifetime (a full paper campaign is a few hundred results);
+// the singleflight machinery only tracks in-flight executions. When
+// Store is set, it is a second, typically persistent, cache level:
+// consulted before every execution and written through after — a hit
+// skips the simulation entirely.
+//
+// A Runner is safe for concurrent use.
 type Runner struct {
 	base        system.Config
 	seed        uint64
 	parallelism int
 	sem         chan struct{}
 
+	// Store, when set, is the second-level result store (typically the
+	// content-addressed disk store of internal/store). It is consulted
+	// on every memo miss before simulating and receives every executed
+	// result. Set it before the first Run/RunAll call races with it.
+	Store Store
+
+	// CacheOnly makes a Store miss an error instead of an execution —
+	// the render-from-cache mode: tables may only be built from results
+	// some earlier (possibly sharded) run persisted. Requires Store.
+	CacheOnly bool
+
 	// OnEvent, when set, observes each simulation as it completes. It is
 	// invoked serially (never concurrently) but from worker goroutines,
-	// and only for executions — cache hits are silent. Set it before the
-	// first Run/RunAll call races with it.
+	// for executions and persistent-store hits — memo hits are silent
+	// outside batches. Set it before the first Run/RunAll call races
+	// with it.
 	OnEvent func(Event)
 
 	evMu sync.Mutex // serializes OnEvent and orders Done counts
 
-	mu   sync.Mutex
-	memo map[string]*call
+	mem *MemStore // lifetime memo of completed results
+
+	mu       sync.Mutex
+	inflight map[string]*call
 }
 
 // call is one singleflight execution slot.
@@ -72,7 +97,8 @@ func New(base system.Config, seed uint64, parallelism int) *Runner {
 		seed:        seed,
 		parallelism: parallelism,
 		sem:         make(chan struct{}, parallelism),
-		memo:        make(map[string]*call),
+		mem:         NewMemStore(),
+		inflight:    make(map[string]*call),
 	}
 }
 
@@ -92,8 +118,14 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*system.Result, error) {
 // incremented under evMu and reported as Event.Done out of total.
 func (r *Runner) run(ctx context.Context, spec Spec, total int, counter *int) (*system.Result, bool, error) {
 	key := spec.Key()
+	if res, ok := r.mem.Get(key); ok {
+		if counter != nil {
+			r.emit(Event{Key: key, Result: res, Total: total, Cached: true}, counter)
+		}
+		return res, true, nil
+	}
 	r.mu.Lock()
-	if c, ok := r.memo[key]; ok {
+	if c, ok := r.inflight[key]; ok {
 		r.mu.Unlock()
 		select {
 		case <-c.done:
@@ -105,12 +137,42 @@ func (r *Runner) run(ctx context.Context, spec Spec, total int, counter *int) (*
 			return nil, false, ctx.Err()
 		}
 	}
+	// Re-check the memo under mu: a leader inserts its result before
+	// unregistering from inflight, so a key absent from inflight may
+	// have completed since the lock-free check above.
+	if res, ok := r.mem.Get(key); ok {
+		r.mu.Unlock()
+		if counter != nil {
+			r.emit(Event{Key: key, Result: res, Total: total, Cached: true}, counter)
+		}
+		return res, true, nil
+	}
 	c := &call{done: make(chan struct{})}
-	r.memo[key] = c
+	r.inflight[key] = c
 	r.mu.Unlock()
 
-	// Leader: take a pool slot, honoring cancellation while queued. The
-	// upfront Err check matters when both select cases are ready — an
+	// Leader: consult the persistent store before taking a pool slot —
+	// a hit costs a decode, not a simulation, so warm runs never
+	// contend for simulation slots.
+	if r.Store != nil {
+		if res, ok := r.Store.Get(key); ok {
+			c.res = res
+			r.mem.Put(key, res)
+			r.finish(key, c)
+			if r.OnEvent != nil || counter != nil {
+				r.emit(Event{Key: key, Result: res, Total: total, Cached: true, Stored: true}, counter)
+			}
+			return res, true, nil
+		}
+		if r.CacheOnly {
+			c.err = fmt.Errorf("runner: design point %q not in the result store (cache-only render; run the missing shard first)", key)
+			r.finish(key, c)
+			return nil, false, c.err
+		}
+	}
+
+	// Take a pool slot, honoring cancellation while queued. The upfront
+	// Err check matters when both select cases are ready — an
 	// already-cancelled context must never start a simulation.
 	acquired := false
 	if ctx.Err() == nil {
@@ -122,30 +184,37 @@ func (r *Runner) run(ctx context.Context, spec Spec, total int, counter *int) (*
 	}
 	if !acquired {
 		c.err = ctx.Err()
-		r.forget(key)
-		close(c.done)
+		r.finish(key, c)
 		return nil, false, c.err
 	}
 	start := time.Now()
 	c.res, c.err = r.execute(spec, key)
 	wall := time.Since(start)
 	<-r.sem
-	if c.err != nil {
-		// Do not poison the cache: a later caller may retry (e.g. after
+	if c.err == nil {
+		// Insert before unregistering (see the re-check above), and
+		// write through to the persistent store. A failed execution is
+		// inserted nowhere, so a later caller may retry (e.g. after
 		// fixing a workload name).
-		r.forget(key)
+		r.mem.Put(key, c.res)
+		if r.Store != nil {
+			r.Store.Put(key, c.res)
+		}
 	}
-	close(c.done)
+	r.finish(key, c)
 	if c.err == nil && (r.OnEvent != nil || counter != nil) {
 		r.emit(Event{Key: key, Result: c.res, Wall: wall, Total: total}, counter)
 	}
 	return c.res, false, c.err
 }
 
-func (r *Runner) forget(key string) {
+// finish unregisters a completed (or failed) leader call and releases
+// its waiters. The result, if any, must already be in the memo.
+func (r *Runner) finish(key string, c *call) {
 	r.mu.Lock()
-	delete(r.memo, key)
+	delete(r.inflight, key)
 	r.mu.Unlock()
+	close(c.done)
 }
 
 // emit serializes OnEvent and stamps batch progress.

@@ -165,6 +165,136 @@ func TestCancellation(t *testing.T) {
 	}
 }
 
+// countingStore wraps a MemStore with hit/miss/put accounting so tests
+// can see exactly how the runner drives its second-level store.
+type countingStore struct {
+	*MemStore
+	mu               sync.Mutex
+	gets, hits, puts int
+}
+
+func (s *countingStore) Get(key string) (*system.Result, bool) {
+	res, ok := s.MemStore.Get(key)
+	s.mu.Lock()
+	s.gets++
+	if ok {
+		s.hits++
+	}
+	s.mu.Unlock()
+	return res, ok
+}
+
+func (s *countingStore) Put(key string, res *system.Result) {
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	s.MemStore.Put(key, res)
+}
+
+// TestStoreWarmRunSkipsSimulation is the tentpole contract: a second
+// runner sharing the first's store performs zero simulations, every
+// result arriving as a Stored event, and returns identical
+// measurements.
+func TestStoreWarmRunSkipsSimulation(t *testing.T) {
+	shared := &countingStore{MemStore: NewMemStore()}
+	specs := []Spec{
+		spec("bc", system.BaseCSSD, ""),
+		spec("srad", system.SkyByteFull, ""),
+	}
+
+	cold := testRunner(2)
+	cold.Store = shared
+	coldRes, err := cold.RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.puts != len(specs) {
+		t.Fatalf("cold run inserted %d results, want %d", shared.puts, len(specs))
+	}
+
+	warm := testRunner(2)
+	warm.Store = shared
+	var mu sync.Mutex
+	sims, stored := 0, 0
+	warm.OnEvent = func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Stored {
+			stored++
+		} else if !ev.Cached {
+			sims++
+		}
+	}
+	warmRes, err := warm.RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims != 0 {
+		t.Fatalf("warm run simulated %d times, want 0", sims)
+	}
+	if stored != len(specs) {
+		t.Fatalf("warm run emitted %d Stored events, want %d", stored, len(specs))
+	}
+	for i := range specs {
+		if coldRes[i].ExecTime != warmRes[i].ExecTime || coldRes[i].Instructions != warmRes[i].Instructions {
+			t.Errorf("spec %d: warm result diverges from cold", i)
+		}
+	}
+
+	// Within the warm runner, a repeat Run must come from the memo, not
+	// another store read.
+	before := shared.gets
+	if _, err := warm.Run(context.Background(), specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if shared.gets != before {
+		t.Error("memoised recall consulted the second-level store")
+	}
+}
+
+// TestCacheOnlyMissErrors pins the render-from-cache contract: a miss
+// is an error naming the key, never a silent simulation, and the error
+// does not poison the key for a later non-cache-only runner sharing
+// the store.
+func TestCacheOnlyMissErrors(t *testing.T) {
+	shared := &countingStore{MemStore: NewMemStore()}
+	r := testRunner(1)
+	r.Store = shared
+	r.CacheOnly = true
+	s := spec("bc", system.BaseCSSD, "")
+	if _, err := r.Run(context.Background(), s); err == nil {
+		t.Fatal("cache-only miss did not error")
+	}
+	// Executing normally afterwards works and feeds the store...
+	r.CacheOnly = false
+	if _, err := r.Run(context.Background(), s); err != nil {
+		t.Fatalf("retry after cache-only miss failed: %v", err)
+	}
+	// ...and cache-only now succeeds from the store on a fresh runner.
+	r2 := testRunner(1)
+	r2.Store = shared
+	r2.CacheOnly = true
+	if _, err := r2.Run(context.Background(), s); err != nil {
+		t.Fatalf("cache-only read of a populated store failed: %v", err)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store hit")
+	}
+	res := &system.Result{Variant: "x"}
+	s.Put("k", res)
+	got, ok := s.Get("k")
+	if !ok || got != res {
+		t.Fatal("MemStore did not return the stored pointer")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
 func TestRunAllConcurrentCallers(t *testing.T) {
 	// Two goroutines race identical batches through one runner: the
 	// singleflight layer must hand both the same memoized results.
@@ -190,6 +320,18 @@ func TestRunAllConcurrentCallers(t *testing.T) {
 	for i := range specs {
 		if out[0][i] != out[1][i] {
 			t.Fatalf("caller results diverge at %d", i)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	i, n, err := ParseShard("1/4")
+	if err != nil || i != 1 || n != 4 {
+		t.Fatalf("ParseShard(1/4) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "1", "1/2/4", "2/2", "-1/2", "a/b", "0/0", "1/2x", "x1/2"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard accepted %q", bad)
 		}
 	}
 }

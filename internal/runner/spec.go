@@ -17,6 +17,8 @@ package runner
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"skybyte/internal/system"
 )
@@ -59,4 +61,33 @@ func ThreadsFor(cfg system.Config) int {
 		return 3 * cfg.Cores
 	}
 	return cfg.Cores
+}
+
+// ShardSpecs returns the i-th of n deterministic, contiguous, balanced
+// slices of specs. Every process slicing the same spec list computes
+// identical boundaries, which is what lets shards coordinate on
+// nothing but (i, n).
+func ShardSpecs(specs []Spec, i, n int) []Spec {
+	if n <= 0 || i < 0 || i >= n {
+		panic(fmt.Sprintf("runner: invalid shard %d/%d", i, n))
+	}
+	lo := len(specs) * i / n
+	hi := len(specs) * (i + 1) / n
+	return specs[lo:hi]
+}
+
+// ParseShard parses a CLI shard spec of the form "i/n" (0-based,
+// 0 <= i < n), rejecting trailing garbage and out-of-range values.
+func ParseShard(s string) (i, n int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if ok {
+		var err1, err2 error
+		i, err1 = strconv.Atoi(a)
+		n, err2 = strconv.Atoi(b)
+		ok = err1 == nil && err2 == nil && n >= 1 && i >= 0 && i < n
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("invalid shard %q; want i/n with 0 <= i < n, e.g. 0/2", s)
+	}
+	return i, n, nil
 }

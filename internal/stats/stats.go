@@ -6,9 +6,11 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"skybyte/internal/sim"
 )
@@ -144,6 +146,52 @@ func (h *LatencyHist) CDFPoints() []CDFPoint {
 
 // Reset clears all samples.
 func (h *LatencyHist) Reset() { *h = LatencyHist{} }
+
+// latencyHistWire is the serialized form of LatencyHist. Buckets are
+// sparse (index -> count) because most of the ~200 buckets are empty;
+// encoding/json writes map keys sorted, so the encoding is canonical.
+type latencyHistWire struct {
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     sim.Time          `json:"sum"`
+	Max     sim.Time          `json:"max"`
+}
+
+// MarshalJSON encodes the histogram canonically (identical samples in
+// any order always produce identical bytes), which the persistent
+// result store relies on for content addressing.
+func (h LatencyHist) MarshalJSON() ([]byte, error) {
+	w := latencyHistWire{Count: h.count, Sum: h.sum, Max: h.max}
+	for i, c := range h.buckets {
+		if c != 0 {
+			if w.Buckets == nil {
+				w.Buckets = make(map[string]uint64)
+			}
+			w.Buckets[fmt.Sprintf("%d", i)] = c
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON. A bucket
+// index outside the current layout is an error, so a histogram encoded
+// under a different bucketing scheme cannot decode silently skewed.
+func (h *LatencyHist) UnmarshalJSON(data []byte) error {
+	var w latencyHistWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.Reset()
+	h.count, h.sum, h.max = w.Count, w.Sum, w.Max
+	for k, c := range w.Buckets {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= bucketCount {
+			return fmt.Errorf("stats: latency histogram bucket %q out of range", k)
+		}
+		h.buckets[i] = c
+	}
+	return nil
+}
 
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {

@@ -1,12 +1,69 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"skybyte/internal/sim"
 )
+
+// TestLatencyHistJSONRoundTrip pins the histogram codec behind the
+// persistent result store: samples, percentiles, and canonical bytes
+// all survive marshal/unmarshal.
+func TestLatencyHistJSONRoundTrip(t *testing.T) {
+	var h LatencyHist
+	for _, d := range []sim.Time{3 * sim.Nanosecond, 180 * sim.Nanosecond, 3 * sim.Microsecond, 2 * sim.Millisecond} {
+		for i := 0; i < 5; i++ {
+			h.Observe(d)
+		}
+	}
+	a, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got LatencyHist
+	if err := json.Unmarshal(a, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatal("histogram did not round-trip")
+	}
+	if got.Percentile(99) != h.Percentile(99) || got.Mean() != h.Mean() || got.Max() != h.Max() || got.Count() != h.Count() {
+		t.Fatal("histogram queries diverge after round-trip")
+	}
+	b, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encoding not canonical:\n%s\n%s", a, b)
+	}
+	var empty LatencyHist
+	data, err := json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencyHist
+	if err := json.Unmarshal(data, &back); err != nil || back != empty {
+		t.Fatalf("empty histogram round-trip: %v", err)
+	}
+}
+
+func TestLatencyHistJSONRejectsBadBuckets(t *testing.T) {
+	for _, bad := range []string{
+		`{"buckets":{"-1":3},"count":3,"sum":1,"max":1}`,
+		`{"buckets":{"100000":3},"count":3,"sum":1,"max":1}`,
+		`{"buckets":{"x":3},"count":3,"sum":1,"max":1}`,
+	} {
+		var h LatencyHist
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Errorf("accepted out-of-range bucket: %s", bad)
+		}
+	}
+}
 
 func TestLatencyHistBasics(t *testing.T) {
 	var h LatencyHist

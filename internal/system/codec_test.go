@@ -1,0 +1,117 @@
+package system
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// collectedResult runs a small full-system simulation so the codec is
+// exercised against a Result with every field family populated the way
+// real campaigns populate them (histograms, traffic, locality CDFs).
+func collectedResult(t *testing.T, v Variant) *Result {
+	t.Helper()
+	cfg := ScaledConfig().WithVariant(v)
+	cfg.TrackLocality = true
+	sys := New(cfg)
+	for i := 0; i < 4; i++ {
+		sys.AddThread(synthStream(uint64(i+1), 2048, 0.3, 8), 6000)
+	}
+	res := sys.Run()
+	res.CacheKey = "codec-test|" + string(v)
+	return res
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	for _, v := range []Variant{BaseCSSD, SkyByteFull} {
+		res := collectedResult(t, v)
+		data, err := EncodeResult(res)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", v, err)
+		}
+		got, err := DecodeResult(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", v, err)
+		}
+		if !reflect.DeepEqual(res, got) {
+			t.Errorf("%s: result did not round-trip", v)
+		}
+		if got.ReadLat.Percentile(99) != res.ReadLat.Percentile(99) ||
+			got.ReadLat.Mean() != res.ReadLat.Mean() {
+			t.Errorf("%s: latency histogram queries diverge after round-trip", v)
+		}
+	}
+}
+
+// TestResultCodecCanonical pins the property the content-addressed
+// store hashes rely on: encoding is a pure function of the
+// measurements, so encode(decode(encode(r))) == encode(r).
+func TestResultCodecCanonical(t *testing.T) {
+	res := collectedResult(t, SkyByteFull)
+	a, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of one result differ")
+	}
+	dec, err := DecodeResult(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := EncodeResult(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("re-encoding a decoded result changed the bytes")
+	}
+}
+
+func TestDecodeResultRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "{", `{"Variant":1}`, `{"NoSuchField":true}`} {
+		if _, err := DecodeResult([]byte(bad)); err == nil {
+			t.Errorf("DecodeResult(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestConfigFingerprint(t *testing.T) {
+	base := ScaledConfig()
+	if base.Fingerprint() != ScaledConfig().Fingerprint() {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	seen := map[string]Variant{}
+	for _, v := range KnownVariants {
+		fp := base.WithVariant(v).Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variants %s and %s share a fingerprint", prev, v)
+		}
+		seen[fp] = v
+	}
+	tweaked := base
+	tweaked.WriteLogBytes *= 2
+	if tweaked.Fingerprint() == base.Fingerprint() {
+		t.Error("changing WriteLogBytes did not change the fingerprint")
+	}
+	if PaperConfig().Fingerprint() == base.Fingerprint() {
+		t.Error("PaperConfig and ScaledConfig share a fingerprint")
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	v, err := ParseVariant("SkyByte-Full")
+	if err != nil || v != SkyByteFull {
+		t.Fatalf("ParseVariant(SkyByte-Full) = %v, %v", v, err)
+	}
+	if _, err := ParseVariant("SkyByte-Bogus"); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	for _, v := range KnownVariants {
+		ScaledConfig().WithVariant(v) // must not panic: parse set == accept set
+	}
+}

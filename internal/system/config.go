@@ -7,6 +7,7 @@ package system
 
 import (
 	"fmt"
+	"strings"
 
 	"skybyte/internal/core"
 	"skybyte/internal/cpu"
@@ -39,6 +40,34 @@ const (
 
 // AllVariants lists the Fig. 14 comparison set in the paper's order.
 var AllVariants = []Variant{BaseCSSD, SkyByteP, SkyByteC, SkyByteW, SkyByteCP, SkyByteWP, SkyByteFull, DRAMOnly}
+
+// KnownVariants lists every design point WithVariant accepts, in the
+// order the paper introduces them.
+var KnownVariants = []Variant{
+	DRAMOnly, BaseCSSD, SkyByteC, SkyByteP, SkyByteW, SkyByteCP,
+	SkyByteWP, SkyByteFull, SkyByteCT, SkyByteWCT, AstriFlashCXL,
+}
+
+// ParseVariant resolves a variant name, rejecting unknown names with an
+// error that lists the valid set — use it to validate CLI input before
+// WithVariant, which panics on unknown variants.
+func ParseVariant(name string) (Variant, error) {
+	for _, v := range KnownVariants {
+		if string(v) == name {
+			return v, nil
+		}
+	}
+	return "", fmt.Errorf("system: unknown variant %q (valid: %s)", name, strings.Join(VariantNames(), ", "))
+}
+
+// VariantNames returns the names of every known variant.
+func VariantNames() []string {
+	names := make([]string, len(KnownVariants))
+	for i, v := range KnownVariants {
+		names[i] = string(v)
+	}
+	return names
+}
 
 // MigrationMode selects the host-side page-management mechanism.
 type MigrationMode string

@@ -11,6 +11,7 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"skybyte/internal/mem"
 	"skybyte/internal/trace"
@@ -69,7 +70,7 @@ func ByName(name string) (Spec, error) {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q (valid: %s)", name, strings.Join(Names(), ", "))
 }
 
 // Stream builds the deterministic instruction stream of one thread. All

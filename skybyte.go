@@ -31,7 +31,12 @@
 package skybyte
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"skybyte/internal/experiments"
+	"skybyte/internal/store"
 	"skybyte/internal/system"
 	"skybyte/internal/trace"
 	"skybyte/internal/workloads"
@@ -109,9 +114,13 @@ func Run(cfg Config, w Workload, threads int, instrPerThread uint64, seed uint64
 	return sys.Run()
 }
 
-// ExperimentOptions scope an experiment campaign, including Parallelism
-// (simulations in flight at once; 0 = GOMAXPROCS) and an optional
-// Progress callback.
+// ExperimentOptions scope an experiment campaign: Parallelism
+// (simulations in flight at once; 0 = GOMAXPROCS), an optional
+// Progress callback, and the persistence/sharding knobs — CacheDir
+// roots a content-addressed result store so completed design points
+// survive across invocations and machines, Shard/ShardCount split the
+// de-duplicated campaign into deterministic slices, and FromCache
+// renders tables exclusively from the store.
 type ExperimentOptions = experiments.Options
 
 // Experiments regenerates the paper's tables and figures.
@@ -131,5 +140,44 @@ func NewExperiments(opt ExperimentOptions) *Experiments { return experiments.New
 // the paper's evaluation, de-duplicates the design points, executes them
 // once across a worker pool of opt.Parallelism simulations (0 =
 // GOMAXPROCS), and returns the tables in paper order. Output is
-// byte-identical at any parallelism; only wall-clock changes.
+// byte-identical at any parallelism; only wall-clock changes. With
+// opt.CacheDir set, executed results persist in a content-addressed
+// store and later invocations recall them instead of re-simulating —
+// a warm campaign performs zero simulations and renders the same bytes.
 func RunAll(opt ExperimentOptions) []ExperimentTable { return NewExperiments(opt).All() }
+
+// RunShard executes one deterministic slice of the full campaign —
+// the opt.Shard-th (0-based) of opt.ShardCount — persisting results
+// into opt.CacheDir (required) and rendering nothing. Every process
+// planning the same options computes identical slice boundaries, so a
+// sweep splits across machines or CI jobs with no coordination beyond
+// (shard, count) and a shared or later-merged store directory. Returns
+// the executed and total design-point counts.
+func RunShard(opt ExperimentOptions) (executed, total int, err error) {
+	return NewExperiments(opt).RunShard(context.Background())
+}
+
+// RunAllFromCache renders the full campaign exclusively from the
+// result store at opt.CacheDir — the merge path after sharding: a
+// design point missing from the store is an error, never a silent
+// re-simulation, so the rendered tables are exactly the shards' work.
+func RunAllFromCache(opt ExperimentOptions) ([]ExperimentTable, error) {
+	if opt.CacheDir == "" {
+		return nil, errors.New("skybyte: RunAllFromCache requires ExperimentOptions.CacheDir")
+	}
+	opt.FromCache = true
+	return NewExperiments(opt).AllErr(context.Background())
+}
+
+// CampaignFingerprint returns the persistent store identity of a
+// campaign: the result codec version plus a digest of the resolved
+// base configuration and workload seed. Stores only serve results to
+// campaigns with an identical fingerprint, and a codec bump invalidates
+// every stored entry, so the string is a sufficient external cache key
+// (e.g. for CI's actions/cache): when it matches, the store is warm;
+// when any invalidating input changes, so does the key.
+func CampaignFingerprint(opt ExperimentOptions) string {
+	opt.CacheDir, opt.FromCache = "", false // no store side effects
+	h := NewExperiments(opt)
+	return fmt.Sprintf("v%d-%s", system.ResultCodecVersion, store.Fingerprint(h.Opt.BaseConfig, h.Opt.Seed))
+}

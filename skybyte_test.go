@@ -1,6 +1,8 @@
 package skybyte_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"skybyte"
@@ -62,5 +64,73 @@ func TestExperimentsSmoke(t *testing.T) {
 	tab := h.Fig02()
 	if tab.ID != "fig02" || len(tab.Rows) != 1 {
 		t.Fatalf("fig02 shape wrong: %+v", tab)
+	}
+}
+
+// TestShardedCampaignPublicAPI drives the persistence/sharding surface
+// end to end the way two CI jobs and a merge machine would: shards
+// split the campaign into one store, the merge renders from cache
+// only, and the bytes match an unsharded run.
+func TestShardedCampaignPublicAPI(t *testing.T) {
+	opt := skybyte.DefaultExperimentOptions()
+	opt.TotalInstr = 48_000
+	opt.SweepInstr = 24_000
+	opt.Workloads = []string{"ycsb"}
+
+	fp := skybyte.CampaignFingerprint(opt)
+	if fp == "" || fp != skybyte.CampaignFingerprint(opt) {
+		t.Fatal("campaign fingerprint unstable")
+	}
+
+	direct := skybyte.RunAll(opt)
+
+	opt.CacheDir = t.TempDir()
+	opt.ShardCount = 2
+	for i := 0; i < 2; i++ {
+		opt.Shard = i
+		executed, total, err := skybyte.RunShard(opt)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if executed == 0 || total == 0 {
+			t.Fatalf("shard %d executed %d of %d", i, executed, total)
+		}
+	}
+	merged, err := skybyte.RunAllFromCache(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(direct) {
+		t.Fatalf("table counts differ: %d vs %d", len(merged), len(direct))
+	}
+	for i := range direct {
+		if merged[i].String() != direct[i].String() {
+			t.Errorf("table %s differs between direct and sharded runs", direct[i].ID)
+		}
+	}
+
+	// A from-cache render against an empty store must fail, not simulate.
+	opt.CacheDir = t.TempDir()
+	if _, err := skybyte.RunAllFromCache(opt); err == nil {
+		t.Fatal("render from an empty store succeeded")
+	}
+}
+
+// TestBadCacheDirIsAnError: a CacheDir that cannot be created (a file
+// sits at the path) surfaces as an error from the error-returning
+// entry points, not a panic.
+func TestBadCacheDirIsAnError(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt := skybyte.DefaultExperimentOptions()
+	opt.Workloads = []string{"ycsb"}
+	opt.CacheDir = bad
+	if _, _, err := skybyte.RunShard(opt); err == nil {
+		t.Fatal("RunShard with an unusable CacheDir succeeded")
+	}
+	if _, err := skybyte.RunAllFromCache(opt); err == nil {
+		t.Fatal("RunAllFromCache with an unusable CacheDir succeeded")
 	}
 }
