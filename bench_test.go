@@ -1,5 +1,5 @@
 // Benchmarks that regenerate the paper's evaluation: one benchmark per
-// table and figure (DESIGN.md §3 maps each to its experiment). Run with
+// table and figure (DESIGN.md §4 maps each to its experiment). Run with
 //
 //	go test -bench=. -benchmem
 //
@@ -137,6 +137,10 @@ func BenchmarkTable3FlashReadLatency(b *testing.B) {
 
 func BenchmarkCostEffectiveness(b *testing.B) {
 	bench(b, (*experiments.Harness).CostEffectiveness)
+}
+
+func BenchmarkFigExtExtensionScenarios(b *testing.B) {
+	bench(b, (*experiments.Harness).FigExt)
 }
 
 func BenchmarkWriteLogIndexFootprint(b *testing.B) {

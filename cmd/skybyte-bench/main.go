@@ -8,6 +8,9 @@
 //	skybyte-bench -figure fig14        # just the headline comparison
 //	skybyte-bench -parallel 1          # sequential (same bytes, slower)
 //	skybyte-bench -workloads bc,ycsb -instr 200000
+//	skybyte-bench -figure figext       # the extension scenarios (WORKLOADS.md)
+//	skybyte-bench -workload-file my.json          # file workload joins the campaign
+//	skybyte-bench -workload-file my.json -workloads my-name -figure fig14
 //	skybyte-bench -config              # print the Table II configurations
 //
 // With -cache-dir, executed design points persist in a
@@ -42,9 +45,14 @@ import (
 )
 
 func main() {
+	var wfiles []string
+	flag.Func("workload-file", "load and register a workload file (JSON definition or recorded trace; repeatable); it joins the campaign unless -workloads selects a subset", func(path string) error {
+		wfiles = append(wfiles, path)
+		return nil
+	})
 	var (
 		figure      = flag.String("figure", "all", "experiment to run: all, "+strings.Join(experiments.IDs(), ", "))
-		workloadCSV = flag.String("workloads", "", "comma-separated benchmark subset (default: all of Table I)")
+		workloadCSV = flag.String("workloads", "", "comma-separated workload subset (default: all of Table I, plus any -workload-file)")
 		instr       = flag.Uint64("instr", 0, "total instructions per run (default 384000)")
 		parallel    = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS, 1 = sequential; tables are identical either way)")
 		progress    = flag.Bool("progress", false, "report batch progress as runs complete")
@@ -62,6 +70,29 @@ func main() {
 		return
 	}
 
+	// Register workload files before anything resolves names or
+	// computes fingerprints: the campaign identity snapshots the
+	// registry, which is what keeps a store warm across re-runs of the
+	// same file and cold after an edit.
+	var fileNames []string
+	seenFile := map[string]string{}
+	for _, path := range wfiles {
+		w, err := workloads.RegisterFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Two files resolving to one name would silently replace each
+		// other (traces from the same source all load as
+		// "trace:<source>"): refuse, rather than run half the inputs.
+		if prev, ok := seenFile[w.Name]; ok {
+			fmt.Fprintf(os.Stderr, "workload files %s and %s both define %q; rename one (a definition's \"name\" field) or record traces from distinct sources\n", prev, path, w.Name)
+			os.Exit(2)
+		}
+		seenFile[w.Name] = path
+		fileNames = append(fileNames, w.Name)
+	}
+
 	opt := experiments.DefaultOptions()
 	if *instr > 0 {
 		opt.TotalInstr = *instr
@@ -69,6 +100,10 @@ func main() {
 	}
 	if *workloadCSV != "" {
 		opt.Workloads = strings.Split(*workloadCSV, ",")
+	} else {
+		// File workloads join the default campaign: every figure runs
+		// them next to the Table I seven.
+		opt.Workloads = append(opt.Workloads, fileNames...)
 	}
 	// Validate every workload and figure name before any simulation
 	// runs: a typo must not leave a partially executed campaign behind.

@@ -6,6 +6,8 @@
 //
 //	skybyte-sim -workload ycsb -variant SkyByte-Full -threads 24 -instr 16000
 //	skybyte-sim -workload srad -variant Base-CSSD -cs-threshold 10us
+//	skybyte-sim -workload-file my-workload.json -variant SkyByte-Full
+//	skybyte-sim -workload-file recorded.trc -variants Base-CSSD,SkyByte-Full
 //
 // With -variants (plural), several design points run concurrently over
 // the shared worker pool and print as one comparison:
@@ -38,11 +40,13 @@ import (
 	"skybyte/internal/stats"
 	"skybyte/internal/store"
 	"skybyte/internal/system"
+	"skybyte/internal/workloads"
 )
 
 func main() {
 	var (
-		workload  = flag.String("workload", "ycsb", "benchmark: bc, bfs-dense, dlrm, radix, srad, tpcc, ycsb")
+		workload  = flag.String("workload", "ycsb", "workload name; any of skybyte.WorkloadNames() — Table I, the extension scenarios, or a file-registered workload")
+		wfile     = flag.String("workload-file", "", "load the workload from a file (declarative JSON definition or recorded trace; see WORKLOADS.md) and run it")
 		variant   = flag.String("variant", "SkyByte-Full", "design variant (Base-CSSD, SkyByte-{C,P,W,CP,WP,Full,CT,WCT}, AstriFlash-CXL, DRAM-Only)")
 		variants  = flag.String("variants", "", "comma-separated variants to compare; they run in parallel and print one table")
 		parallel  = flag.Int("parallel", 0, "with -variants: simulations in flight at once (0 = GOMAXPROCS)")
@@ -66,7 +70,16 @@ func main() {
 	}
 
 	// Validate every name before anything simulates: a typo must list
-	// the valid values and change nothing.
+	// the valid values and change nothing. A -workload-file both
+	// registers its workload (so the result store fingerprint below
+	// reflects its exact definition) and selects it for this run.
+	if *wfile != "" {
+		loaded, err := skybyte.WorkloadFromFile(*wfile)
+		if err != nil {
+			fail(err)
+		}
+		*workload = loaded.Name
+	}
 	w, err := skybyte.WorkloadByName(*workload)
 	if err != nil {
 		fail(err)
@@ -101,6 +114,10 @@ func main() {
 	if *paper {
 		base = skybyte.PaperConfig()
 	}
+	// Fold the resolved workload definitions (built-ins plus any
+	// -workload-file registration) into the store identity, so an
+	// edited file or re-recorded trace can never recall stale results.
+	base.WorkloadDigest = workloads.RegistryFingerprint()
 	// knobs applies the CLI overrides on top of a variant config; the
 	// runner paths reuse it as the spec's config mutation. knobTag
 	// folds the knob values into the spec identity, so runs with

@@ -1,17 +1,30 @@
-// skybyte-trace inspects the synthetic workload generators that stand in
-// for the paper's PIN traces: it prints a sample of records and summarises
-// the stream's characteristics against Table I.
+// skybyte-trace inspects the workload generators that stand in for the
+// paper's PIN traces: it prints a sample of records, summarises the
+// stream's characteristics against Table I, and records streams to the
+// versioned on-disk trace format for later replay (WORKLOADS.md).
 //
 // Example:
 //
 //	skybyte-trace -workload bc -n 200000
 //	skybyte-trace -workload radix -dump 30
 //	skybyte-trace -workload ycsb -nthreads 24        # all 24 streams, analysed in parallel
+//	skybyte-trace -workload-file my-workload.json -n 50000
+//
+// Record and replay: -record captures the deterministic streams to a
+// file; the file then loads as a workload anywhere (-workload-file on
+// any CLI, skybyte.WorkloadFromFile) and replays record for record —
+// re-recording a replay reproduces the file bit for bit, and a replay
+// cut at the same instruction budget reproduces a simulation's Result
+// bit for bit:
+//
+//	skybyte-trace -workload ycsb -nthreads 24 -record-instr 16000 -record ycsb.trc
+//	skybyte-sim -workload-file ycsb.trc -variant SkyByte-Full -threads 24 -instr 16000
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -74,20 +87,41 @@ func (s summary) memOps() uint64 {
 
 func main() {
 	var (
-		workload = flag.String("workload", "ycsb", "benchmark name")
-		n        = flag.Int("n", 100000, "records to analyse per thread")
+		workload = flag.String("workload", "ycsb", "workload name (any of skybyte.WorkloadNames())")
+		wfile    = flag.String("workload-file", "", "load the workload from a file (JSON definition or recorded trace) instead of -workload")
+		n        = flag.Int("n", 100000, "records to analyse (or record) per thread")
 		dump     = flag.Int("dump", 0, "records to print verbatim (single-thread mode only)")
 		thread   = flag.Int("thread", 0, "thread id")
-		nthreads = flag.Int("nthreads", 1, "analyse this many thread streams (ids 0..n-1) and aggregate")
+		nthreads = flag.Int("nthreads", 1, "analyse (or record) this many thread streams (ids 0..n-1)")
 		parallel = flag.Int("parallel", 0, "streams analysed concurrently (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		record   = flag.String("record", "", "record the streams to this trace file instead of analysing")
+		recInstr = flag.Uint64("record-instr", 0, "with -record: cut each stream at this instruction budget (matching a simulation's -instr) instead of at -n records")
 	)
 	flag.Parse()
 
-	w, err := skybyte.WorkloadByName(*workload)
+	var w skybyte.Workload
+	var err error
+	if *wfile != "" {
+		w, err = skybyte.WorkloadFromFile(*wfile)
+	} else {
+		w, err = skybyte.WorkloadByName(*workload)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *record != "" {
+		// Which cut flags were given explicitly matters for trace
+		// re-recording: defaults mean "reproduce the source exactly".
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if err := recordTrace(w, *record, *nthreads, *n, *recInstr, *seed, explicit); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var sums []summary
@@ -172,4 +206,60 @@ func popcount(x uint64) int {
 		n++
 	}
 	return n
+}
+
+// recordTrace captures nthreads deterministic streams and writes them
+// in the versioned on-disk trace format. Streams are cut at maxRecords
+// records, or — with a -record-instr budget — at exactly that many
+// instructions per thread (the same trace.Limited clipping a
+// simulation applies, so replaying the file at the same budget
+// reproduces the run's Result bit for bit). Re-recording a trace-backed
+// workload preserves the source metadata, and with -nthreads, -n, and
+// -record-instr left at their defaults the source's thread count and
+// cuts are inherited too, so a plain re-record reproduces the source
+// file bit for bit.
+func recordTrace(w skybyte.Workload, path string, nthreads, maxRecords int, instrBudget, seed uint64, explicit map[string]bool) error {
+	tr := &trace.Trace{Meta: trace.Meta{
+		Workload:       w.Name,
+		Seed:           seed,
+		FootprintPages: w.FootprintPages,
+		WriteRatio:     w.WriteRatio,
+		InstrPerThread: instrBudget,
+	}}
+	if w.Trace != nil {
+		src := w.Trace.Data.Meta
+		tr.Meta.Workload = src.Workload
+		tr.Meta.Seed = src.Seed
+		if !explicit["record-instr"] && !explicit["n"] {
+			// No new cut at all: the source records pass through
+			// verbatim (never truncate), so the source's recorded
+			// budget still describes them. With an explicit -n the cut
+			// is a record count and InstrPerThread correctly stays 0.
+			tr.Meta.InstrPerThread = src.InstrPerThread
+			maxRecords = math.MaxInt
+		}
+		if !explicit["nthreads"] {
+			nthreads = len(w.Trace.Data.Threads)
+		}
+	}
+	for t := 0; t < nthreads; t++ {
+		var st trace.Stream = w.Stream(t, seed)
+		limit := maxRecords
+		if instrBudget > 0 {
+			st = &trace.Limited{Src: st, Budget: instrBudget}
+			limit = math.MaxInt
+		}
+		tr.Threads = append(tr.Threads, trace.RecordStream(st, limit))
+	}
+	data, err := trace.EncodeTrace(tr)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d threads, %d records, %d bytes (%s)\n",
+		path, len(tr.Threads), tr.Records(), len(data), trace.TraceDigest(data))
+	fmt.Printf("replay with: skybyte-sim -workload-file %s\n", path)
+	return nil
 }

@@ -8,7 +8,7 @@
 // The model reproduces the phenomena the paper measures (memory
 // boundedness, the impracticality of hiding µs-scale flash latency with
 // ROB-scale lookahead, exception delivery at the retire stage) without
-// simulating individual pipeline stages; see DESIGN.md §1 and §4.
+// simulating individual pipeline stages; see DESIGN.md §1.
 package cpu
 
 import (

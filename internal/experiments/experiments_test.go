@@ -6,7 +6,9 @@ import (
 	"strings"
 	"testing"
 
+	"skybyte/internal/store"
 	"skybyte/internal/system"
+	"skybyte/internal/workloads"
 )
 
 // tinyOptions keeps unit-test campaigns fast: two workloads, small budget.
@@ -360,5 +362,67 @@ func TestHarnessMemoisation(t *testing.T) {
 	h.Fig16() // shares every design point with Fig14
 	if runs != afterFig14 {
 		t.Fatalf("Fig16 re-ran %d simulations; memoisation broken", runs-afterFig14)
+	}
+}
+
+// TestFigExtRendersButStaysOutOfTheCampaign pins the optional-entry
+// contract: figext renders on demand with one row per extension
+// scenario (plus the geomean), its id is listed, and the default
+// campaign excludes it so the paper's table set stays the paper's.
+func TestFigExtRendersButStaysOutOfTheCampaign(t *testing.T) {
+	o := tinyOptions()
+	h := NewHarness(o)
+	tab, err := h.Render(context.Background(), "figext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(workloads.Extras())+1 {
+		t.Fatalf("figext has %d rows, want %d scenarios + geomean", len(tab.Rows), len(workloads.Extras()))
+	}
+	found := false
+	for _, id := range IDs() {
+		if id == "figext" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("figext missing from IDs()")
+	}
+	tables, err := NewHarness(o).AllErr(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if tb.ID == "figext" {
+			t.Fatal("optional figext leaked into the default campaign")
+		}
+	}
+}
+
+// TestWorkloadDigestFoldsIntoCampaignIdentity pins the §2.1 extension:
+// the harness snapshots the workload registry into the base config, so
+// campaigns resolved against different workload definitions can never
+// share a store namespace.
+func TestWorkloadDigestFoldsIntoCampaignIdentity(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	if h.Opt.BaseConfig.WorkloadDigest == "" {
+		t.Fatal("harness did not fold the workload registry into the campaign identity")
+	}
+	if h.Opt.BaseConfig.WorkloadDigest != workloads.RegistryFingerprint() {
+		t.Fatal("digest is not the registry fingerprint")
+	}
+	// A caller-provided digest wins (the CLIs set it after registering
+	// workload files).
+	o := tinyOptions()
+	o.BaseConfig.WorkloadDigest = "custom"
+	if NewHarness(o).Opt.BaseConfig.WorkloadDigest != "custom" {
+		t.Fatal("caller digest overwritten")
+	}
+	// Different digests → different store fingerprints.
+	a, b := tinyOptions(), tinyOptions()
+	a.BaseConfig.WorkloadDigest = "one"
+	b.BaseConfig.WorkloadDigest = "two"
+	if store.Fingerprint(a.BaseConfig, a.Seed) == store.Fingerprint(b.BaseConfig, b.Seed) {
+		t.Fatal("workload digest does not reach the store fingerprint")
 	}
 }

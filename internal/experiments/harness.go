@@ -74,7 +74,7 @@ func DefaultOptions() Options {
 		BaseConfig: system.ScaledConfig(),
 		TotalInstr: 384_000,
 		SweepInstr: 192_000,
-		Workloads:  workloads.Names(),
+		Workloads:  workloads.Table1Names(),
 		Seed:       7,
 	}
 }
@@ -119,6 +119,15 @@ func NewHarness(opt Options) *Harness {
 	}
 	if opt.Seed == 0 {
 		opt.Seed = def.Seed
+	}
+	// Fold the resolved workload definitions into the campaign
+	// identity: the store fingerprint below hashes BaseConfig, so an
+	// edited workload file, a re-recorded trace, or a generator/codec
+	// version bump gives the campaign a fresh store namespace instead
+	// of stale recalls (DESIGN.md §2.1). Register file workloads
+	// before building the harness.
+	if opt.BaseConfig.WorkloadDigest == "" {
+		opt.BaseConfig.WorkloadDigest = workloads.RegistryFingerprint()
 	}
 	h := &Harness{Opt: opt}
 	h.run = runner.New(opt.BaseConfig, opt.Seed, opt.Parallelism)

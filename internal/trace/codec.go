@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"skybyte/internal/mem"
+)
+
+// CodecVersion names the on-disk trace layout. Bump it whenever the
+// record encoding or the envelope changes shape or meaning: a version
+// mismatch is a decode error (never a silent reinterpretation), and
+// the workload registry folds the version into every trace-backed
+// workload's source identity, so a bump also invalidates persistent
+// result-store entries produced from traces under the old layout.
+const CodecVersion = 1
+
+// traceMagic opens every trace file. Eight bytes so a truncated or
+// foreign file is rejected before any length field is trusted.
+var traceMagic = [8]byte{'S', 'K', 'Y', 'B', 'T', 'R', 'C', 0}
+
+// Meta describes a recorded trace: where it came from and how it was
+// cut. It rides in the file as canonical JSON and is covered by the
+// trailing digest like everything else.
+type Meta struct {
+	// Workload is the name of the generator the trace was recorded
+	// from (a built-in, a registered definition, or — when a trace is
+	// re-recorded through replay — the original generator's name).
+	Workload string `json:"workload"`
+	// Seed is the workload seed the streams were generated with.
+	Seed uint64 `json:"seed"`
+	// FootprintPages bounds the arena the recorded addresses fall in.
+	FootprintPages uint64 `json:"footprint_pages"`
+	// WriteRatio carries the source workload's Table I write ratio for
+	// documentation; replay does not depend on it.
+	WriteRatio float64 `json:"write_ratio,omitempty"`
+	// InstrPerThread is the per-thread instruction budget the streams
+	// were cut at (0 when the cut was a record count instead).
+	InstrPerThread uint64 `json:"instr_per_thread,omitempty"`
+}
+
+// Trace is a decoded (or to-be-encoded) multi-thread record stream:
+// Threads[i] is the complete record sequence of thread i.
+type Trace struct {
+	Meta    Meta
+	Threads [][]Record
+}
+
+// Stream returns a replay Stream over thread's records (threads wrap
+// modulo the recorded count, so a trace recorded with fewer threads
+// than a run schedules still feeds every software thread). The
+// returned stream is independent of every other: concurrent replays
+// of one Trace are safe.
+func (t *Trace) Stream(thread int) Stream {
+	return &SliceStream{Recs: t.Threads[thread%len(t.Threads)]}
+}
+
+// Records counts the records across all threads.
+func (t *Trace) Records() int {
+	n := 0
+	for _, recs := range t.Threads {
+		n += len(recs)
+	}
+	return n
+}
+
+// EncodeTrace serializes t canonically:
+//
+//	magic[8] | u32 version | u32 metaLen | meta JSON |
+//	u32 threads | per thread: u64 count, records... | sha256[32]
+//
+// A record is a kind byte followed by one uvarint — the instruction
+// count for Compute, the byte address for memory ops. The same Trace
+// always encodes to the same bytes, so re-recording a replayed trace
+// reproduces the file bit for bit.
+func EncodeTrace(t *Trace) ([]byte, error) {
+	if len(t.Threads) == 0 {
+		return nil, fmt.Errorf("trace: encode: no thread streams")
+	}
+	meta, err := json.Marshal(t.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encode meta: %w", err)
+	}
+	var b bytes.Buffer
+	b.Write(traceMagic[:])
+	var u32 [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		b.Write(u32[:])
+	}
+	put32(CodecVersion)
+	put32(uint32(len(meta)))
+	b.Write(meta)
+	put32(uint32(len(t.Threads)))
+	var varBuf [binary.MaxVarintLen64]byte
+	var u64 [8]byte
+	for _, recs := range t.Threads {
+		binary.LittleEndian.PutUint64(u64[:], uint64(len(recs)))
+		b.Write(u64[:])
+		for _, r := range recs {
+			b.WriteByte(byte(r.Kind))
+			var v uint64
+			switch r.Kind {
+			case Compute:
+				v = uint64(r.N)
+			case Load, Store, LoadDep:
+				v = uint64(r.Addr)
+			default:
+				return nil, fmt.Errorf("trace: encode: unknown record kind %d", r.Kind)
+			}
+			b.Write(varBuf[:binary.PutUvarint(varBuf[:], v)])
+		}
+	}
+	sum := sha256.Sum256(b.Bytes())
+	b.Write(sum[:])
+	return b.Bytes(), nil
+}
+
+// IsTrace reports whether data begins with the trace magic — the sniff
+// the workload file loader uses to tell a binary trace from a JSON
+// workload definition.
+func IsTrace(data []byte) bool {
+	return len(data) >= len(traceMagic) && bytes.Equal(data[:len(traceMagic)], traceMagic[:])
+}
+
+// DecodeTrace reverses EncodeTrace. Every defect is a distinct, loud
+// error — wrong magic, future codec version, truncation, checksum
+// mismatch, or malformed records — never a partial Trace: a damaged
+// trace must not replay as a subtly different workload.
+func DecodeTrace(data []byte) (*Trace, error) {
+	if !IsTrace(data) {
+		return nil, fmt.Errorf("trace: not a skybyte trace (bad magic)")
+	}
+	if len(data) < len(traceMagic)+8+sha256.Size {
+		return nil, fmt.Errorf("trace: truncated (file shorter than the fixed envelope)")
+	}
+	body, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if got := sha256.Sum256(body); !bytes.Equal(got[:], sum) {
+		return nil, fmt.Errorf("trace: corrupt (checksum mismatch; the file was truncated or altered)")
+	}
+	pos := len(traceMagic)
+	read32 := func() (uint32, error) {
+		if pos+4 > len(body) {
+			return 0, fmt.Errorf("trace: truncated inside the header")
+		}
+		v := binary.LittleEndian.Uint32(body[pos:])
+		pos += 4
+		return v, nil
+	}
+	version, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	if version != CodecVersion {
+		return nil, fmt.Errorf("trace: codec version %d, this build reads v%d (re-record the trace)", version, CodecVersion)
+	}
+	metaLen, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	if pos+int(metaLen) > len(body) {
+		return nil, fmt.Errorf("trace: truncated inside the metadata block")
+	}
+	t := &Trace{}
+	if err := json.Unmarshal(body[pos:pos+int(metaLen)], &t.Meta); err != nil {
+		return nil, fmt.Errorf("trace: bad metadata: %w", err)
+	}
+	pos += int(metaLen)
+	threads, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	if threads == 0 {
+		return nil, fmt.Errorf("trace: no thread streams")
+	}
+	for ti := uint32(0); ti < threads; ti++ {
+		if pos+8 > len(body) {
+			return nil, fmt.Errorf("trace: truncated before thread %d's record count", ti)
+		}
+		count := binary.LittleEndian.Uint64(body[pos:])
+		pos += 8
+		// Cap the pre-allocation by what the remaining bytes could
+		// possibly hold (a record is >= 2 bytes): the declared count is
+		// untrusted input, and a crafted file must fail with a
+		// truncation error, not an enormous allocation.
+		capHint := count
+		if max := uint64(len(body)-pos) / 2; capHint > max {
+			capHint = max
+		}
+		recs := make([]Record, 0, capHint)
+		for ri := uint64(0); ri < count; ri++ {
+			if pos >= len(body) {
+				return nil, fmt.Errorf("trace: truncated inside thread %d's records", ti)
+			}
+			kind := Kind(body[pos])
+			pos++
+			v, n := binary.Uvarint(body[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("trace: malformed record %d of thread %d", ri, ti)
+			}
+			pos += n
+			switch kind {
+			case Compute:
+				if v == 0 || v > 1<<32-1 {
+					return nil, fmt.Errorf("trace: compute burst of %d instructions in thread %d", v, ti)
+				}
+				recs = append(recs, Record{Kind: Compute, N: uint32(v)})
+			case Load, Store, LoadDep:
+				recs = append(recs, Record{Kind: kind, Addr: mem.Addr(v)})
+			default:
+				return nil, fmt.Errorf("trace: unknown record kind %d in thread %d", kind, ti)
+			}
+		}
+		t.Threads = append(t.Threads, recs)
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("trace: %d trailing bytes after the last record", len(body)-pos)
+	}
+	return t, nil
+}
+
+// TraceDigest returns the stable content identity of an encoded trace:
+// the codec version plus the hex of the file's own trailing checksum.
+// Workload registration folds this into a trace-backed workload's
+// source identity, so editing or re-recording a trace file — or
+// bumping the codec — changes every fingerprint derived from it.
+func TraceDigest(encoded []byte) string {
+	sum := sha256.Sum256(encoded)
+	return fmt.Sprintf("v%d:%s", CodecVersion, hex.EncodeToString(sum[:]))
+}
+
+// RecordStream drains up to maxRecords records from src into a slice —
+// the capture half of record/replay. It stops at stream end; cut the
+// stream with Limited first to record an exact instruction budget.
+func RecordStream(src Stream, maxRecords int) []Record {
+	var recs []Record
+	for len(recs) < maxRecords {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}

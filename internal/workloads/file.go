@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"skybyte/internal/trace"
+)
+
+// FromFile loads a workload from path. The format is sniffed from the
+// content:
+//
+//   - a recorded binary trace (internal/trace codec; magic "SKYBTRC")
+//     becomes a trace-kind workload named "trace:<workload>" that
+//     replays the records literally;
+//   - anything else must be a JSON declarative definition
+//     (WORKLOADS.md documents the schema). Unknown fields are rejected
+//     so a typo fails loudly instead of silently meaning "default".
+//
+// The returned Spec is validated but not registered; RegisterFile also
+// makes it resolvable by name.
+func FromFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("workloads: %w", err)
+	}
+	if trace.IsTrace(data) {
+		tr, err := trace.DecodeTrace(data)
+		if err != nil {
+			return Spec{}, fmt.Errorf("workloads: %s: %w", path, err)
+		}
+		return SpecFromTrace(tr, trace.TraceDigest(data))
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d Def
+	if err := dec.Decode(&d); err != nil {
+		return Spec{}, fmt.Errorf("workloads: %s: not a trace and not a valid workload definition: %w", path, err)
+	}
+	s, err := d.Spec()
+	if err != nil {
+		return Spec{}, fmt.Errorf("workloads: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// RegisterFile loads a workload from path (FromFile) and registers it,
+// so campaigns and CLIs can select it by name like a built-in. It
+// returns the registered spec.
+func RegisterFile(path string) (Spec, error) {
+	s, err := FromFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	if err := Register(s); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// SpecFromTrace wraps a decoded trace as a replayable workload named
+// "trace:<original workload>". The digest (trace.TraceDigest of the
+// encoded bytes) becomes the spec's source identity, so an edited or
+// re-recorded trace — or a codec bump — fingerprints differently.
+func SpecFromTrace(tr *trace.Trace, digest string) (Spec, error) {
+	if len(tr.Threads) == 0 {
+		return Spec{}, fmt.Errorf("workloads: trace has no thread streams")
+	}
+	if tr.Meta.FootprintPages == 0 {
+		return Spec{}, fmt.Errorf("workloads: trace metadata missing footprint_pages")
+	}
+	name := "trace:" + tr.Meta.Workload
+	if err := validateName(name); err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Name:           name,
+		Suite:          "trace",
+		FootprintPages: tr.Meta.FootprintPages,
+		WriteRatio:     tr.Meta.WriteRatio,
+		Trace:          &TraceReplay{Data: tr, Digest: digest},
+	}, nil
+}

@@ -1,26 +1,32 @@
-// Package workloads provides deterministic synthetic generators for the
-// seven Table I benchmarks the paper evaluates (bc, bfs-dense, dlrm, radix,
-// srad, tpcc, ycsb). The paper replays PIN-captured instruction traces; we
-// reproduce each workload's measured characteristics instead — memory
-// footprint (scaled 1/64 with the rest of the machine), write ratio, LLC
-// miss intensity, spatial sparsity (Figs. 5–6) and dependence structure
-// (graph traversals are pointer chases; DLRM gathers are independent) — so
-// every simulator variant replays an identical, workload-shaped stream.
-// DESIGN.md §1 documents this substitution.
+// Package workloads is the simulator's workload engine. It ships the
+// seven Table I benchmarks the paper evaluates (bc, bfs-dense, dlrm,
+// radix, srad, tpcc, ycsb) as hand-coded deterministic generators,
+// extra scenarios composed from declarative primitives (def.go,
+// extras.go), file-loaded workloads (file.go; JSON definitions or
+// recorded binary traces), and a registry (registry.go) that makes all
+// of them resolvable by name everywhere a built-in is. The paper
+// replays PIN-captured instruction traces; the generators reproduce
+// each workload's measured characteristics instead — memory footprint
+// (scaled 1/64 with the rest of the machine), write ratio, LLC miss
+// intensity, spatial sparsity (Figs. 5–6) and dependence structure
+// (graph traversals are pointer chases; DLRM gathers are independent)
+// — so every simulator variant replays an identical, workload-shaped
+// stream. DESIGN.md §1 documents this substitution; DESIGN.md §3 and
+// WORKLOADS.md document the engine.
 package workloads
 
 import (
-	"fmt"
-	"strings"
-
 	"skybyte/internal/mem"
 	"skybyte/internal/trace"
 )
 
-// Spec describes one benchmark (Table I).
+// Spec describes one workload: its Table I-style characteristics plus
+// exactly one generator — a hand-coded built-in, a declarative
+// definition, or a recorded trace.
 type Spec struct {
 	Name string
-	// Suite is the benchmark's origin in the paper.
+	// Suite is the benchmark's origin (paper suite, "extra", "custom",
+	// or "trace").
 	Suite string
 	// FootprintPages is the CXL-resident data footprint at 1/64 scale.
 	FootprintPages uint64
@@ -31,6 +37,24 @@ type Spec struct {
 	PaperMPKI float64
 	// PaperFootprintGB is Table I's unscaled footprint, for documentation.
 	PaperFootprintGB float64
+
+	// Def, when set, is the declarative definition the stream compiles
+	// from (extra built-ins and file-loaded workloads).
+	Def *Def
+	// Trace, when set, replays a recorded trace through the same
+	// Stream interface (the seed is ignored — a trace is literal).
+	Trace *TraceReplay
+	// native is the hand-coded generator of the Table I seven.
+	native func(Spec, int, *trace.RNG) trace.Stream
+}
+
+// TraceReplay backs a trace-kind workload: decoded records plus the
+// content digest that identifies them in fingerprints.
+type TraceReplay struct {
+	Data *trace.Trace
+	// Digest is trace.TraceDigest of the encoded file — codec version
+	// plus content hash.
+	Digest string
 }
 
 // FootprintBytes returns the scaled footprint in bytes.
@@ -43,18 +67,19 @@ func (s Spec) Arena() mem.Addr { return mem.CXLBase }
 // Table I divided by the 64x capacity scaling (≥8 GB → ≥128 MB).
 func Table1() []Spec {
 	return []Spec{
-		{Name: "bc", Suite: "GAP", FootprintPages: 32 * 1024, WriteRatio: 0.11, PaperMPKI: 39.4, PaperFootprintGB: 8.18},
-		{Name: "bfs-dense", Suite: "Rodinia", FootprintPages: 36 * 1024, WriteRatio: 0.25, PaperMPKI: 122.9, PaperFootprintGB: 9.13},
-		{Name: "dlrm", Suite: "DLRM", FootprintPages: 48 * 1024, WriteRatio: 0.32, PaperMPKI: 5.1, PaperFootprintGB: 12.35},
-		{Name: "radix", Suite: "Splashv3", FootprintPages: 38 * 1024, WriteRatio: 0.29, PaperMPKI: 7.1, PaperFootprintGB: 9.60},
-		{Name: "srad", Suite: "Rodinia", FootprintPages: 32 * 1024, WriteRatio: 0.24, PaperMPKI: 7.5, PaperFootprintGB: 8.16},
-		{Name: "tpcc", Suite: "WHISPER", FootprintPages: 62 * 1024, WriteRatio: 0.36, PaperMPKI: 1.0, PaperFootprintGB: 15.77},
-		{Name: "ycsb", Suite: "WHISPER", FootprintPages: 38 * 1024, WriteRatio: 0.05, PaperMPKI: 92.2, PaperFootprintGB: 9.61},
+		{Name: "bc", Suite: "GAP", FootprintPages: 32 * 1024, WriteRatio: 0.11, PaperMPKI: 39.4, PaperFootprintGB: 8.18, native: Spec.bc},
+		{Name: "bfs-dense", Suite: "Rodinia", FootprintPages: 36 * 1024, WriteRatio: 0.25, PaperMPKI: 122.9, PaperFootprintGB: 9.13, native: Spec.bfsDense},
+		{Name: "dlrm", Suite: "DLRM", FootprintPages: 48 * 1024, WriteRatio: 0.32, PaperMPKI: 5.1, PaperFootprintGB: 12.35, native: Spec.dlrm},
+		{Name: "radix", Suite: "Splashv3", FootprintPages: 38 * 1024, WriteRatio: 0.29, PaperMPKI: 7.1, PaperFootprintGB: 9.60, native: Spec.radix},
+		{Name: "srad", Suite: "Rodinia", FootprintPages: 32 * 1024, WriteRatio: 0.24, PaperMPKI: 7.5, PaperFootprintGB: 8.16, native: Spec.srad},
+		{Name: "tpcc", Suite: "WHISPER", FootprintPages: 62 * 1024, WriteRatio: 0.36, PaperMPKI: 1.0, PaperFootprintGB: 15.77, native: Spec.tpcc},
+		{Name: "ycsb", Suite: "WHISPER", FootprintPages: 38 * 1024, WriteRatio: 0.05, PaperMPKI: 92.2, PaperFootprintGB: 9.61, native: Spec.ycsb},
 	}
 }
 
-// Names returns the benchmark names in Table I order.
-func Names() []string {
+// Table1Names returns the benchmark names in Table I order — the
+// default campaign set. Names() lists the full resolvable set.
+func Table1Names() []string {
 	specs := Table1()
 	out := make([]string, len(specs))
 	for i, s := range specs {
@@ -63,37 +88,21 @@ func Names() []string {
 	return out
 }
 
-// ByName returns the spec for a benchmark name.
-func ByName(name string) (Spec, error) {
-	for _, s := range Table1() {
-		if s.Name == name {
-			return s, nil
-		}
-	}
-	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q (valid: %s)", name, strings.Join(Names(), ", "))
-}
-
 // Stream builds the deterministic instruction stream of one thread. All
 // threads of a workload share the data arena and partition the work; the
-// same (name, thread, seed) always yields the identical stream, so every
+// same (spec, thread, seed) always yields the identical stream, so every
 // design variant replays the same section of the program (§VI-A).
+// Trace-backed specs replay their records literally and ignore the seed.
 func (s Spec) Stream(thread int, seed uint64) trace.Stream {
+	if s.Trace != nil {
+		return s.Trace.Data.Stream(thread)
+	}
 	mix := trace.NewRNG(seed*0x9E37 + uint64(thread)*0x79B9 + 1)
-	switch s.Name {
-	case "bc":
-		return s.bc(thread, mix)
-	case "bfs-dense":
-		return s.bfsDense(thread, mix)
-	case "dlrm":
-		return s.dlrm(thread, mix)
-	case "radix":
-		return s.radix(thread, mix)
-	case "srad":
-		return s.srad(thread, mix)
-	case "tpcc":
-		return s.tpcc(thread, mix)
-	case "ycsb":
-		return s.ycsb(thread, mix)
+	switch {
+	case s.native != nil:
+		return s.native(s, thread, mix)
+	case s.Def != nil:
+		return s.Def.stream(s, thread, mix)
 	}
 	panic("workloads: no generator for " + s.Name)
 }

@@ -43,8 +43,11 @@ func TestTable1Complete(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	if len(Names()) != 7 {
-		t.Fatal("Names() incomplete")
+	if len(Table1Names()) != 7 {
+		t.Fatal("Table1Names() incomplete")
+	}
+	if len(Names()) != 7+len(Extras()) {
+		t.Fatalf("Names() = %v, want Table I + extras", Names())
 	}
 }
 

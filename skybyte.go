@@ -97,9 +97,30 @@ func PaperConfig() Config { return system.PaperConfig() }
 // Workloads returns the seven Table I benchmarks.
 func Workloads() []Workload { return workloads.Table1() }
 
-// WorkloadByName looks a benchmark up by name (bc, bfs-dense, dlrm, radix,
-// srad, tpcc, ycsb).
+// ExtraWorkloads returns the extension scenarios beyond Table I
+// (scan-heavy, log-append, graph500), each composed from the
+// declarative workload primitives — see WORKLOADS.md.
+func ExtraWorkloads() []Workload { return workloads.Extras() }
+
+// WorkloadByName resolves any known workload: the Table I seven (bc,
+// bfs-dense, dlrm, radix, srad, tpcc, ycsb), the extension scenarios,
+// and anything registered via WorkloadFromFile. Unknown names error
+// with the full valid list.
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// WorkloadNames lists every resolvable workload name: Table I in paper
+// order, then the extension scenarios, then file-registered workloads.
+func WorkloadNames() []string { return workloads.Names() }
+
+// WorkloadFromFile loads a workload from a file — a declarative JSON
+// definition or a recorded binary trace (both documented in
+// WORKLOADS.md) — and registers it, so it resolves by name everywhere
+// a built-in does: WorkloadByName, ExperimentOptions.Workloads, and
+// the CLIs' -workload flags. Register before building harnesses: the
+// campaign fingerprint snapshots the workload registry, which is how a
+// persistent result store distinguishes runs made with different
+// definitions of the same name.
+func WorkloadFromFile(path string) (Workload, error) { return workloads.RegisterFile(path) }
 
 // NewSystem wires a machine from cfg.
 func NewSystem(cfg Config) *System { return system.New(cfg) }

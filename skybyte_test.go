@@ -1,11 +1,16 @@
 package skybyte_test
 
 import (
+	"context"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"skybyte"
+	"skybyte/internal/system"
+	"skybyte/internal/trace"
 )
 
 func TestPublicAPIRoundTrip(t *testing.T) {
@@ -132,5 +137,170 @@ func TestBadCacheDirIsAnError(t *testing.T) {
 	}
 	if _, err := skybyte.RunAllFromCache(opt); err == nil {
 		t.Fatal("RunAllFromCache with an unusable CacheDir succeeded")
+	}
+}
+
+// TestFileWorkloadCampaignEndToEnd is the PR-3 acceptance path: a
+// workload defined only in a file (no Go code) runs through
+// RunAll-style campaigns, its registration gives the campaign a store
+// fingerprint distinct from a built-in-only process, a warm replay
+// from the persistent store is byte-identical with zero simulations,
+// and editing the file re-keys the store instead of serving stale
+// results.
+func TestFileWorkloadCampaignEndToEnd(t *testing.T) {
+	def := `{
+  "format": 1,
+  "name": "filetest-mix",
+  "footprint_pages": 4096,
+  "write_ratio": 0.25,
+  "regions": [
+    {"name": "data", "start": 0, "size": 0.9},
+    {"name": "out", "start": 0.9, "size": 0.1}
+  ],
+  "phases": [
+    {"ops": [
+      {"op": "load", "region": "data", "kernel": "zipf", "theta": 0.8},
+      {"op": "compute", "min": 12, "max": 24},
+      {"op": "load", "region": "data", "kernel": "sequential", "lines": 2},
+      {"op": "store", "region": "out", "kernel": "uniform"}
+    ]}
+  ]
+}`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	if err := os.WriteFile(path, []byte(def), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := skybyte.DefaultExperimentOptions()
+	opt.TotalInstr = 24_000
+	opt.SweepInstr = 12_000
+	opt.Workloads = []string{"filetest-mix"}
+
+	optNoFile := opt
+	optNoFile.Workloads = []string{"ycsb"}
+	fpBefore := skybyte.CampaignFingerprint(optNoFile)
+
+	w, err := skybyte.WorkloadFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "filetest-mix" {
+		t.Fatalf("loaded name %q", w.Name)
+	}
+	if fpV1 := skybyte.CampaignFingerprint(optNoFile); fpV1 == fpBefore {
+		t.Fatal("registering a file workload did not change the campaign fingerprint")
+	}
+
+	// Direct run through the plain API.
+	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+	if res := skybyte.Run(cfg, w, 8, 3000, 1); res.Instructions < 8*3000 {
+		t.Fatalf("file workload run incomplete: %+v", res.Instructions)
+	}
+
+	// Cold campaign into a persistent store.
+	opt.CacheDir = filepath.Join(dir, "store")
+	sims := 0
+	h := skybyte.NewExperiments(opt)
+	h.Verbose = func(string, *skybyte.Result) { sims++ }
+	cold, err := h.AllErr(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims == 0 {
+		t.Fatal("cold campaign simulated nothing")
+	}
+	coldSims := sims
+
+	// Warm replay: zero simulations, identical bytes.
+	sims = 0
+	h2 := skybyte.NewExperiments(opt)
+	h2.Verbose = func(string, *skybyte.Result) { sims++ }
+	warm, err := h2.AllErr(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims != 0 {
+		t.Fatalf("warm campaign re-simulated %d design points", sims)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("table counts differ: %d vs %d", len(warm), len(cold))
+	}
+	for i := range cold {
+		if warm[i].String() != cold[i].String() {
+			t.Fatalf("table %s differs between cold and warm runs", cold[i].ID)
+		}
+	}
+
+	// Edit the definition: the campaign re-keys and re-simulates.
+	edited := strings.Replace(def, `"theta": 0.8`, `"theta": 0.7`, 1)
+	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := skybyte.WorkloadFromFile(path); err != nil {
+		t.Fatal(err)
+	}
+	sims = 0
+	h3 := skybyte.NewExperiments(opt)
+	h3.Verbose = func(string, *skybyte.Result) { sims++ }
+	if _, err := h3.AllErr(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sims != coldSims {
+		t.Fatalf("edited workload file re-simulated %d of %d design points; stale store entries served", sims, coldSims)
+	}
+}
+
+// TestTraceRecordReplayBitForBit is the record/replay acceptance: a
+// stream recorded at a simulation's exact instruction budget, replayed
+// through the trace workload kind, reproduces the original run's
+// Result bit for bit.
+func TestTraceRecordReplayBitForBit(t *testing.T) {
+	w, err := skybyte.WorkloadByName("srad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+	const threads, per, seed = 8, 6000, 3
+
+	live := skybyte.Run(cfg, w, threads, per, seed)
+
+	tr := &trace.Trace{Meta: trace.Meta{
+		Workload: w.Name, Seed: seed,
+		FootprintPages: w.FootprintPages, WriteRatio: w.WriteRatio,
+		InstrPerThread: per,
+	}}
+	for i := 0; i < threads; i++ {
+		tr.Threads = append(tr.Threads,
+			trace.RecordStream(&trace.Limited{Src: w.Stream(i, seed), Budget: per}, math.MaxInt))
+	}
+	data, err := trace.EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "srad.trc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	replayW, err := skybyte.WorkloadFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayW.Name != "trace:srad" {
+		t.Fatalf("trace workload named %q", replayW.Name)
+	}
+	// The replay seed is deliberately different: a trace is literal.
+	replay := skybyte.Run(cfg, replayW, threads, per, seed+99)
+
+	la, err := system.EncodeResult(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := system.EncodeResult(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(la) != string(ra) {
+		t.Fatalf("replayed Result differs from the live run:\nlive:   %.200s\nreplay: %.200s", la, ra)
 	}
 }
