@@ -9,6 +9,8 @@
 //	skybyte-bench -parallel 1          # sequential (same bytes, slower)
 //	skybyte-bench -workloads bc,ycsb -instr 200000
 //	skybyte-bench -figure figext       # the extension scenarios (WORKLOADS.md)
+//	skybyte-bench -figure figmix       # multi-tenant fairness/interference study
+//	skybyte-bench -figure figmix -mix-file mix.json -mix my-mix
 //	skybyte-bench -workload-file my.json          # file workload joins the campaign
 //	skybyte-bench -workload-file my.json -workloads my-name -figure fig14
 //	skybyte-bench -config              # print the Table II configurations
@@ -41,6 +43,7 @@ import (
 	"skybyte/internal/runner"
 	"skybyte/internal/stats"
 	"skybyte/internal/system"
+	"skybyte/internal/tenant"
 	"skybyte/internal/workloads"
 )
 
@@ -50,7 +53,13 @@ func main() {
 		wfiles = append(wfiles, path)
 		return nil
 	})
+	var mixFiles []string
+	flag.Func("mix-file", "load and register a multi-tenant mix file (JSON; repeatable); it joins the figmix mix set unless -mix selects a subset", func(path string) error {
+		mixFiles = append(mixFiles, path)
+		return nil
+	})
 	var (
+		mixCSV      = flag.String("mix", "", "comma-separated mix subset for the figmix fairness table (default: all built-in and -mix-file mixes)")
 		figure      = flag.String("figure", "all", "experiment to run: all, "+strings.Join(experiments.IDs(), ", "))
 		workloadCSV = flag.String("workloads", "", "comma-separated workload subset (default: all of Table I, plus any -workload-file)")
 		instr       = flag.Uint64("instr", 0, "total instructions per run (default 384000)")
@@ -70,10 +79,10 @@ func main() {
 		return
 	}
 
-	// Register workload files before anything resolves names or
-	// computes fingerprints: the campaign identity snapshots the
-	// registry, which is what keeps a store warm across re-runs of the
-	// same file and cold after an edit.
+	// Register workload and mix files before anything resolves names or
+	// computes spec keys: the runner's source-folded keys snapshot each
+	// definition, which is what keeps a store warm across re-runs of the
+	// same file and re-colds exactly the affected entries after an edit.
 	var fileNames []string
 	seenFile := map[string]string{}
 	for _, path := range wfiles {
@@ -92,6 +101,19 @@ func main() {
 		seenFile[w.Name] = path
 		fileNames = append(fileNames, w.Name)
 	}
+	seenMix := map[string]string{}
+	for _, path := range mixFiles {
+		m, err := tenant.RegisterFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if prev, ok := seenMix[m.Name]; ok {
+			fmt.Fprintf(os.Stderr, "mix files %s and %s both define %q; rename one (the \"name\" field)\n", prev, path, m.Name)
+			os.Exit(2)
+		}
+		seenMix[m.Name] = path
+	}
 
 	opt := experiments.DefaultOptions()
 	if *instr > 0 {
@@ -105,10 +127,20 @@ func main() {
 		// them next to the Table I seven.
 		opt.Workloads = append(opt.Workloads, fileNames...)
 	}
-	// Validate every workload and figure name before any simulation
-	// runs: a typo must not leave a partially executed campaign behind.
+	if *mixCSV != "" {
+		opt.Mixes = strings.Split(*mixCSV, ",")
+	}
+	// Validate every workload, mix, and figure name before any
+	// simulation runs: a typo must not leave a partially executed
+	// campaign behind.
 	for _, name := range opt.Workloads {
 		if _, err := workloads.ByName(name); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	for _, name := range opt.Mixes {
+		if _, err := tenant.ByName(name); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

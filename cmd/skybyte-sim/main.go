@@ -8,6 +8,8 @@
 //	skybyte-sim -workload srad -variant Base-CSSD -cs-threshold 10us
 //	skybyte-sim -workload-file my-workload.json -variant SkyByte-Full
 //	skybyte-sim -workload-file recorded.trc -variants Base-CSSD,SkyByte-Full
+//	skybyte-sim -mix graph-vs-log -variant SkyByte-Full       # multi-tenant run
+//	skybyte-sim -mix-file mix.json -variant Base-CSSD         # file-defined mix
 //
 // With -variants (plural), several design points run concurrently over
 // the shared worker pool and print as one comparison:
@@ -40,13 +42,14 @@ import (
 	"skybyte/internal/stats"
 	"skybyte/internal/store"
 	"skybyte/internal/system"
-	"skybyte/internal/workloads"
 )
 
 func main() {
 	var (
 		workload  = flag.String("workload", "ycsb", "workload name; any of skybyte.WorkloadNames() — Table I, the extension scenarios, or a file-registered workload")
 		wfile     = flag.String("workload-file", "", "load the workload from a file (declarative JSON definition or recorded trace; see WORKLOADS.md) and run it")
+		mixName   = flag.String("mix", "", "run a multi-tenant mix instead of -workload: each tenant group replays its own workload (any of skybyte.MixNames()); prints per-tenant accounting")
+		mixFile   = flag.String("mix-file", "", "load a multi-tenant mix from a JSON file (see WORKLOADS.md) and run it")
 		variant   = flag.String("variant", "SkyByte-Full", "design variant (Base-CSSD, SkyByte-{C,P,W,CP,WP,Full,CT,WCT}, AstriFlash-CXL, DRAM-Only)")
 		variants  = flag.String("variants", "", "comma-separated variants to compare; they run in parallel and print one table")
 		parallel  = flag.Int("parallel", 0, "with -variants: simulations in flight at once (0 = GOMAXPROCS)")
@@ -70,15 +73,36 @@ func main() {
 	}
 
 	// Validate every name before anything simulates: a typo must list
-	// the valid values and change nothing. A -workload-file both
-	// registers its workload (so the result store fingerprint below
-	// reflects its exact definition) and selects it for this run.
+	// the valid values and change nothing. A -workload-file (or
+	// -mix-file) both registers its definition (so the runner's
+	// source-folded spec keys reflect it exactly) and selects it for
+	// this run.
 	if *wfile != "" {
 		loaded, err := skybyte.WorkloadFromFile(*wfile)
 		if err != nil {
 			fail(err)
 		}
 		*workload = loaded.Name
+	}
+	if *mixFile != "" {
+		loaded, err := skybyte.MixFromFile(*mixFile)
+		if err != nil {
+			fail(err)
+		}
+		*mixName = loaded.Name
+	}
+	var mix skybyte.Mix
+	if *mixName != "" {
+		var err error
+		if mix, err = skybyte.MixByName(*mixName); err != nil {
+			fail(err)
+		}
+		if *variants != "" {
+			fail(fmt.Errorf("-mix runs one design point at a time; it cannot be combined with -variants"))
+		}
+		if *threads != 0 {
+			fail(fmt.Errorf("-mix declares its own thread counts; -threads does not apply"))
+		}
 	}
 	w, err := skybyte.WorkloadByName(*workload)
 	if err != nil {
@@ -114,10 +138,9 @@ func main() {
 	if *paper {
 		base = skybyte.PaperConfig()
 	}
-	// Fold the resolved workload definitions (built-ins plus any
-	// -workload-file registration) into the store identity, so an
-	// edited file or re-recorded trace can never recall stale results.
-	base.WorkloadDigest = workloads.RegistryFingerprint()
+	// Workload and mix definitions reach the store identity through the
+	// runner's source-folded spec keys (DESIGN.md §2.1): an edited file
+	// or re-recorded trace re-keys exactly the runs that use it.
 	// knobs applies the CLI overrides on top of a variant config; the
 	// runner paths reuse it as the spec's config mutation. knobTag
 	// folds the knob values into the spec identity, so runs with
@@ -152,6 +175,11 @@ func main() {
 
 	if *variants != "" {
 		compareVariants(newRunner(*parallel), base, w, variantList, *threads, *instr, knobTag, knobs, shardI, shardN, *shardSpec != "")
+		return
+	}
+
+	if *mixName != "" {
+		runMix(newRunner(1), base, mix, skybyte.Variant(*variant), *instr, *seed, *cacheDir != "", knobTag, knobs)
 		return
 	}
 
@@ -217,6 +245,61 @@ func main() {
 	}
 	fmt.Printf("SSD bandwidth   %.2f GB/s over CXL; flash die utilization %.1f%%\n",
 		res.SSDBandwidthBps/1e9, 100*res.FlashUtilization)
+}
+
+// runMix executes one multi-tenant design point and prints the
+// per-tenant accounting: who got what share of the machine, who paid
+// for context switches, and who filled the write log. instrPerThread
+// matches the solo path's -instr semantics (an intensity-1 tenant's
+// threads each replay that many instructions). With -cache-dir the run
+// routes through the runner so identical mixed runs recall from the
+// store.
+func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Variant, instrPerThread, seed uint64, useStore bool, knobTag string, knobs func(*skybyte.Config)) {
+	cfg := base.WithVariant(v)
+	knobs(&cfg)
+	total := instrPerThread * uint64(m.TotalThreads())
+
+	start := time.Now()
+	var res *skybyte.Result
+	var err error
+	if useStore {
+		res, err = r.Run(context.Background(), runner.Spec{
+			Mix:        m.Name,
+			Variant:    v,
+			TotalInstr: total,
+			Threads:    m.TotalThreads(),
+			Tag:        knobTag,
+			Mutate:     knobs,
+		})
+	} else {
+		res, err = skybyte.RunMix(cfg, m, total, seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("mix             %s (%d tenants, %d threads on %d cores)\n",
+		m.Name, len(m.Tenants), m.TotalThreads(), cfg.Cores)
+	fmt.Printf("variant         %s\n", res.Variant)
+	fmt.Printf("exec time       %v   (%.1fM instr total; wall %v)\n",
+		res.ExecTime, float64(res.Instructions)/1e6, wall.Round(time.Millisecond))
+	fmt.Printf("boundedness     compute %.1f%%  memory %.1f%%  ctx-switch %.1f%%\n\n",
+		100*res.Bound.ComputeFrac(), 100*res.Bound.MemFrac(), 100*res.Bound.CtxFrac())
+
+	fmt.Printf("%-10s %-12s %7s %10s %12s %8s %8s %10s %8s %10s %8s\n",
+		"tenant", "workload", "threads", "instr", "exec", "mem%", "ctx", "p99 read", "MPKI", "log lines", "stalls")
+	ips := make([]float64, 0, len(res.Tenants))
+	for _, tr := range res.Tenants {
+		fmt.Printf("%-10s %-12s %7d %10d %12v %7.1f%% %8d %10v %8.1f %10d %8d\n",
+			tr.Name, tr.Workload, tr.Threads, tr.Instructions, tr.ExecTime,
+			100*tr.Bound.MemFrac(), tr.CtxSwitches, tr.ReadLat.Percentile(99), tr.MPKI,
+			tr.Log.LinesAbsorbed, tr.Log.StalledWrites)
+		ips = append(ips, tr.IPS())
+	}
+	fmt.Printf("\nfairness        Jain index %.3f over per-tenant progress rates (max/min %.2f)\n",
+		stats.JainIndex(ips), stats.MaxMinRatio(ips))
 }
 
 // compareVariants runs one workload across several design points on the

@@ -9,6 +9,7 @@
 //	skybyte-trace -workload radix -dump 30
 //	skybyte-trace -workload ycsb -nthreads 24        # all 24 streams, analysed in parallel
 //	skybyte-trace -workload-file my-workload.json -n 50000
+//	skybyte-trace -mix graph-vs-log                  # per-tenant stream summary
 //
 // Record and replay: -record captures the deterministic streams to a
 // file; the file then loads as a workload anywhere (-workload-file on
@@ -89,6 +90,8 @@ func main() {
 	var (
 		workload = flag.String("workload", "ycsb", "workload name (any of skybyte.WorkloadNames())")
 		wfile    = flag.String("workload-file", "", "load the workload from a file (JSON definition or recorded trace) instead of -workload")
+		mixName  = flag.String("mix", "", "analyse a multi-tenant mix instead of -workload: every tenant's streams, summarised per tenant (any of skybyte.MixNames())")
+		mixFile  = flag.String("mix-file", "", "load the mix from a JSON file (see WORKLOADS.md) instead of -mix")
 		n        = flag.Int("n", 100000, "records to analyse (or record) per thread")
 		dump     = flag.Int("dump", 0, "records to print verbatim (single-thread mode only)")
 		thread   = flag.Int("thread", 0, "thread id")
@@ -99,6 +102,26 @@ func main() {
 		recInstr = flag.Uint64("record-instr", 0, "with -record: cut each stream at this instruction budget (matching a simulation's -instr) instead of at -n records")
 	)
 	flag.Parse()
+
+	if *mixFile != "" || *mixName != "" {
+		var m skybyte.Mix
+		var err error
+		if *mixFile != "" {
+			m, err = skybyte.MixFromFile(*mixFile)
+		} else {
+			m, err = skybyte.MixByName(*mixName)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *record != "" {
+			fmt.Fprintln(os.Stderr, "-record captures one workload's streams; record each tenant's workload separately")
+			os.Exit(2)
+		}
+		analyzeMix(m, *n, *seed, *parallel)
+		return
+	}
 
 	var w skybyte.Workload
 	var err error
@@ -206,6 +229,75 @@ func popcount(x uint64) int {
 		n++
 	}
 	return n
+}
+
+// analyzeMix summarises every tenant's streams of a multi-tenant mix:
+// one aggregate row per tenant (its Threads streams at its thread
+// count), so the interference study's inputs can be inspected before a
+// simulation runs. Streams are analysed across a bounded worker pool;
+// rows print in tenant order.
+func analyzeMix(m skybyte.Mix, n int, seed uint64, parallel int) {
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ tenant, thread int }
+	var jobs []job
+	specs := make([]skybyte.Workload, len(m.Tenants))
+	for ti, td := range m.Tenants {
+		w, err := skybyte.WorkloadByName(td.Workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs[ti] = w
+		for k := 0; k < td.Threads; k++ {
+			jobs = append(jobs, job{ti, k})
+		}
+	}
+	sums := make([]summary, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			sums[ji] = analyze(specs[j.tenant], j.thread, seed, n, 0)
+			<-sem
+		}(ji, j)
+	}
+	wg.Wait()
+
+	fmt.Printf("\nmix %s (%d tenants, %d threads, %d records/thread)\n",
+		m.Name, len(m.Tenants), m.TotalThreads(), n)
+	fmt.Printf("%-10s %-12s %8s %12s %12s %10s %8s %10s\n",
+		"tenant", "workload", "threads", "instrs", "mem ops", "stores", "pages", "write%")
+	cursor := 0
+	for _, td := range m.Tenants {
+		var instrs, memOps, stores uint64
+		pages := map[uint64]bool{}
+		for k := 0; k < td.Threads; k++ {
+			s := sums[cursor]
+			cursor++
+			instrs += s.instrs
+			memOps += s.memOps()
+			stores += s.kinds[trace.Store]
+			for p := range s.pages {
+				pages[p] = true
+			}
+		}
+		name := td.Name
+		if name == "" {
+			name = td.Workload
+		}
+		wr := 0.0
+		if memOps > 0 {
+			wr = float64(stores) / float64(memOps)
+		}
+		fmt.Printf("%-10s %-12s %8d %12d %12d %10d %8d %9.1f%%\n",
+			name, td.Workload, td.Threads, instrs, memOps, stores, len(pages), 100*wr)
+	}
 }
 
 // recordTrace captures nthreads deterministic streams and writes them

@@ -92,6 +92,21 @@ type ReadMeta struct {
 	Data    []byte             // 64 B payload when tracking data
 }
 
+// TenantLogStats splits write-path activity by tenant group, so
+// multi-tenant runs can show who fills the write log (and therefore
+// who forces its compaction drains) and who eats backpressure stalls.
+type TenantLogStats struct {
+	// LinesAbsorbed counts cacheline writes the tenant appended to the
+	// write log (SkyByte-W path).
+	LinesAbsorbed uint64
+	// StalledWrites counts the tenant's writes backpressured because
+	// both log halves were full while compaction drained.
+	StalledWrites uint64
+	// RMWFetches counts Base-CSSD write-miss page fetches (the
+	// read-modify-write path taken with the log disabled).
+	RMWFetches uint64
+}
+
 // CompactionStats summarises write-log compactions.
 type CompactionStats struct {
 	Count     uint64
@@ -131,6 +146,7 @@ type pendingWrite struct {
 	off    uint64
 	data   []byte
 	record bool
+	tenant int
 	accept func()
 }
 
@@ -158,6 +174,9 @@ type Controller struct {
 
 	// Traffic is the flash-level cause-split accounting behind Figs. 18/20.
 	Traffic stats.FlashTraffic
+	// tenantLog splits write-path activity by the tenant index MemWr
+	// receives; the slice grows on demand (solo runs use index 0 only).
+	tenantLog []TenantLogStats
 	// Compaction summarises background log compaction activity.
 	Compaction CompactionStats
 	// WriteLocality records the fraction of dirty lines per page flushed to
@@ -448,10 +467,29 @@ func (c *Controller) noteWriteLocality(dirtyLines int) {
 	}
 }
 
+// tenantAcct returns the per-tenant write accounting slot for index n,
+// growing the slice on demand.
+func (c *Controller) tenantAcct(n int) *TenantLogStats {
+	if n < 0 {
+		n = 0
+	}
+	for len(c.tenantLog) <= n {
+		c.tenantLog = append(c.tenantLog, TenantLogStats{})
+	}
+	return &c.tenantLog[n]
+}
+
+// TenantLog returns the per-tenant write-path accounting, indexed by
+// the tenant values MemWr received. The returned slice is a copy.
+func (c *Controller) TenantLog() []TenantLogStats {
+	return append([]TenantLogStats(nil), c.tenantLog...)
+}
+
 // MemWr absorbs a cacheline writeback at device byte offset off; accepted
 // fires when the device has taken ownership (the host's writeback credit
-// returns then).
-func (c *Controller) MemWr(off uint64, data []byte, record bool, accepted func()) {
+// returns then). tenant attributes the write to a tenant group for the
+// per-tenant log accounting (0 in solo runs).
+func (c *Controller) MemWr(off uint64, data []byte, record bool, tenant int, accepted func()) {
 	lpa := off >> mem.PageShift
 	lineIdx := mem.Addr(off).LineIndex()
 	c.bumpHeat(lpa)
@@ -466,6 +504,7 @@ func (c *Controller) MemWr(off uint64, data []byte, record bool, accepted func()
 			return
 		}
 		// Write miss: fetch the page first (RMW), then dirty the line.
+		c.tenantAcct(tenant).RMWFetches++
 		fs, inFlight := c.fetches[lpa]
 		if !inFlight {
 			fs = &fetchState{lpa: lpa, issuedAt: c.eng.Now()}
@@ -486,11 +525,13 @@ func (c *Controller) MemWr(off uint64, data []byte, record bool, accepted func()
 	if c.activeLog().Full() {
 		// Both halves full: compaction is still draining. Backpressure the
 		// host until space frees.
-		c.pendingWrites = append(c.pendingWrites, pendingWrite{off: off, data: cloneLine(data), record: record, accept: accepted})
+		c.tenantAcct(tenant).StalledWrites++
+		c.pendingWrites = append(c.pendingWrites, pendingWrite{off: off, data: cloneLine(data), record: record, tenant: tenant, accept: accepted})
 		return
 	}
 	c.activeLog().Append(off>>mem.LineShift, data)
 	c.Traffic.LinesAbsorbed++
+	c.tenantAcct(tenant).LinesAbsorbed++
 	// W2: parallel update of the data cache copy.
 	if f := c.cache.Peek(lpa); f != nil {
 		f.TouchWrite(lineIdx, data)
@@ -599,7 +640,7 @@ func (c *Controller) finishCompaction() {
 	pend := c.pendingWrites
 	c.pendingWrites = nil
 	for _, pw := range pend {
-		c.MemWr(pw.off, pw.data, pw.record, pw.accept)
+		c.MemWr(pw.off, pw.data, pw.record, pw.tenant, pw.accept)
 	}
 }
 

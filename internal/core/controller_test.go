@@ -64,7 +64,7 @@ func (r *crig) readSync(t *testing.T, o uint64) ReadMeta {
 func (r *crig) writeSync(t *testing.T, o uint64, data []byte) {
 	t.Helper()
 	done := false
-	r.c.MemWr(o, data, true, func() { done = true })
+	r.c.MemWr(o, data, true, 0, func() { done = true })
 	r.eng.Run()
 	if !done {
 		t.Fatalf("write of offset %#x never accepted", o)
@@ -105,7 +105,7 @@ func TestBaseWriteMissDoesRMW(t *testing.T) {
 	r := newRig(testConfig(false))
 	start := r.eng.Now()
 	var acceptedAt sim.Time
-	r.c.MemWr(off(9, 0), linePayload(1), true, func() { acceptedAt = r.eng.Now() })
+	r.c.MemWr(off(9, 0), linePayload(1), true, 0, func() { acceptedAt = r.eng.Now() })
 	r.eng.Run()
 	if acceptedAt-start < 2*sim.Microsecond {
 		t.Fatalf("Base write miss accepted in %v: RMW page fetch expected", acceptedAt-start)
@@ -119,7 +119,7 @@ func TestWriteLogAbsorbsWritesFast(t *testing.T) {
 	r := newRig(testConfig(true))
 	start := r.eng.Now()
 	var acceptedAt sim.Time
-	r.c.MemWr(off(9, 0), linePayload(1), true, func() { acceptedAt = r.eng.Now() })
+	r.c.MemWr(off(9, 0), linePayload(1), true, 0, func() { acceptedAt = r.eng.Now() })
 	r.eng.Run()
 	if acceptedAt-start > sim.Microsecond {
 		t.Fatalf("logged write accepted in %v: should be DRAM-fast", acceptedAt-start)
@@ -208,10 +208,10 @@ func TestDoubleBufferBackpressure(t *testing.T) {
 	// progress), then verify the next write stalls until compaction runs.
 	accepted := 0
 	for i := uint64(0); i < 256; i++ {
-		r.c.MemWr(off(i/64, i%64), linePayload(byte(i)), true, func() { accepted++ })
+		r.c.MemWr(off(i/64, i%64), linePayload(byte(i)), true, 0, func() { accepted++ })
 	}
 	stalled := false
-	r.c.MemWr(off(60, 0), linePayload(1), true, func() { stalled = true })
+	r.c.MemWr(off(60, 0), linePayload(1), true, 0, func() { stalled = true })
 	if stalled {
 		t.Fatal("write accepted while both halves full")
 	}
@@ -396,7 +396,7 @@ func TestFunctionalModelRandomOps(t *testing.T) {
 			ln := o >> mem.LineShift
 			if rng.Bool(0.45) {
 				v := byte(rng.Uint64())
-				r.c.MemWr(o, linePayload(v), true, func() {})
+				r.c.MemWr(o, linePayload(v), true, 0, func() {})
 				model[ln] = v
 				version[ln]++
 			} else if want, wrote := model[ln], version[ln] > 0; wrote {
@@ -441,7 +441,7 @@ func TestWriteTrafficReduction(t *testing.T) {
 		rng := trace.NewRNG(5)
 		for op := 0; op < 1500; op++ {
 			// One sparse write to a small hot set of lines...
-			r.c.MemWr(off(uint64(op%32), 0), linePayload(byte(op)), true, func() {})
+			r.c.MemWr(off(uint64(op%32), 0), linePayload(byte(op)), true, 0, func() {})
 			// ...plus reads that evict pages from the Base cache.
 			r.c.MemRd(off(32+rng.Uint64n(200), 0), true, func(ReadMeta) {}, nil)
 			r.c.MemRd(off(32+rng.Uint64n(200), 0), true, func(ReadMeta) {}, nil)

@@ -24,6 +24,10 @@ import (
 type ReadReq struct {
 	Addr   mem.Addr
 	CoreID int
+	// Tenant is the issuing thread's tenant group (osched.Thread.Tenant),
+	// 0 in a solo run; the backend uses it to attribute the request's
+	// latency and class to a per-tenant accounting slice.
+	Tenant int
 	// Record is true when the access is past the thread's warmup and
 	// should contribute to latency/AMAT statistics.
 	Record bool
@@ -44,8 +48,11 @@ type Backend interface {
 	// will eventually fire (unless the request is squashed first).
 	Read(req *ReadReq)
 	// Write issues a cacheline writeback; accepted fires when the device
-	// has absorbed it, returning the writeback credit.
-	Write(a mem.Addr, coreID int, record bool, accepted func())
+	// has absorbed it, returning the writeback credit. tenant attributes
+	// the writeback to the issuing thread's tenant group (a writeback's
+	// line may have been dirtied by an earlier thread on the core, so
+	// the attribution is to whoever forced it out — the paying party).
+	Write(a mem.Addr, coreID, tenant int, record bool, accepted func())
 }
 
 // Config parameterises a core (Table II values as defaults via
@@ -183,10 +190,37 @@ func (c *Core) Start() {
 }
 
 // --- time accounting ---
+//
+// Every charge is double-booked: into the per-core totals (the system
+// Boundedness) and into the running thread's own accumulator (the
+// per-tenant split). Charges only ever occur while a thread occupies
+// the core — the one exception, the switch paid when a thread retires,
+// is attributed to the departing thread in finishThread — so the
+// thread-level accounts sum exactly to the core-level ones.
 
-func (c *Core) chargeCompute(d sim.Time) { c.time += d; c.Stats.Bound.Compute += d }
-func (c *Core) chargeMem(d sim.Time)     { c.time += d; c.Stats.Bound.MemStall += d }
-func (c *Core) chargeCtx(d sim.Time)     { c.time += d; c.Stats.Bound.CtxSwitch += d }
+func (c *Core) chargeCompute(d sim.Time) {
+	c.time += d
+	c.Stats.Bound.Compute += d
+	if c.thread != nil {
+		c.thread.Bound.Compute += d
+	}
+}
+
+func (c *Core) chargeMem(d sim.Time) {
+	c.time += d
+	c.Stats.Bound.MemStall += d
+	if c.thread != nil {
+		c.thread.Bound.MemStall += d
+	}
+}
+
+func (c *Core) chargeCtx(d sim.Time) {
+	c.time += d
+	c.Stats.Bound.CtxSwitch += d
+	if c.thread != nil {
+		c.thread.Bound.CtxSwitch += d
+	}
+}
 
 // advanceTo moves local time forward to t, booking the gap as memory stall.
 func (c *Core) advanceTo(t sim.Time) {
@@ -245,9 +279,13 @@ func (c *Core) finishThread() {
 		c.OnThreadFinished(t, c.time)
 	}
 	c.thread = nil
-	// Swapping in the next thread costs a context switch.
+	// Swapping in the next thread costs a context switch, attributed to
+	// the thread whose exit forced it (t no longer occupies the core, so
+	// chargeCtx's thread-attribution must be done by hand).
 	if c.sched.Runnable() > 0 {
 		c.chargeCtx(c.sched.SwitchCost)
+		t.Bound.CtxSwitch += c.sched.SwitchCost
+		t.Switches++
 		c.Stats.Switches++
 	}
 }
@@ -384,6 +422,7 @@ func (c *Core) load(a mem.Addr, idx uint64) {
 		return
 	}
 	c.Stats.LLCMisses++
+	c.thread.LLCMisses++
 	// MSHR merge: a younger load to an in-flight line rides along with the
 	// existing entry and does not gate retirement separately.
 	for _, e := range c.out {
@@ -392,7 +431,7 @@ func (c *Core) load(a mem.Addr, idx uint64) {
 		}
 	}
 	e := &missEntry{instrIdx: idx, addr: a}
-	req := &ReadReq{Addr: a, CoreID: c.ID, Record: c.thread.PastWarmup()}
+	req := &ReadReq{Addr: a, CoreID: c.ID, Tenant: c.thread.Tenant, Record: c.thread.PastWarmup()}
 	req.OnData = func() { c.onData(e) }
 	req.OnHint = func() { c.onHint(e) }
 	e.req = req
@@ -417,6 +456,7 @@ func (c *Core) store(a mem.Addr) {
 		return
 	}
 	c.Stats.LLCMisses++
+	c.thread.LLCMisses++
 	c.installL1(a, true)
 }
 
@@ -463,12 +503,16 @@ func (c *Core) sendWriteback(a mem.Addr) {
 	c.wbCredits--
 	c.Stats.Writebacks++
 	record := c.thread != nil && c.thread.PastWarmup()
+	tenant := 0
+	if c.thread != nil {
+		tenant = c.thread.Tenant
+	}
 	issueAt := c.time
 	if n := c.eng.Now(); n > issueAt {
 		issueAt = n
 	}
 	c.eng.At(issueAt, func() {
-		c.backend.Write(a, c.ID, record, func() {
+		c.backend.Write(a, c.ID, tenant, record, func() {
 			c.wbCredits++
 			if c.state == stWaitCredit {
 				c.state = stRunning
@@ -541,6 +585,7 @@ func (c *Core) ctxSwitch(oldest *missEntry) {
 	c.Stats.Switches++
 	c.Stats.HintSwitches++
 	c.thread.Switches++
+	c.thread.HintSwitches++
 	c.accrueRuntime()
 
 	// Squash all in-flight requests. With FreeMSHROnSquash (default) their

@@ -46,7 +46,7 @@ func (m *mockBackend) Read(req *ReadReq) {
 	m.eng.After(m.latency, req.OnData)
 }
 
-func (m *mockBackend) Write(a mem.Addr, coreID int, record bool, accepted func()) {
+func (m *mockBackend) Write(a mem.Addr, coreID, tenant int, record bool, accepted func()) {
 	m.writes = append(m.writes, a)
 	m.eng.After(m.wrLatency, accepted)
 }

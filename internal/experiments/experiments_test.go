@@ -6,8 +6,8 @@ import (
 	"strings"
 	"testing"
 
-	"skybyte/internal/store"
 	"skybyte/internal/system"
+	"skybyte/internal/tenant"
 	"skybyte/internal/workloads"
 )
 
@@ -399,30 +399,249 @@ func TestFigExtRendersButStaysOutOfTheCampaign(t *testing.T) {
 	}
 }
 
-// TestWorkloadDigestFoldsIntoCampaignIdentity pins the §2.1 extension:
-// the harness snapshots the workload registry into the base config, so
-// campaigns resolved against different workload definitions can never
-// share a store namespace.
-func TestWorkloadDigestFoldsIntoCampaignIdentity(t *testing.T) {
-	h := NewHarness(tinyOptions())
-	if h.Opt.BaseConfig.WorkloadDigest == "" {
-		t.Fatal("harness did not fold the workload registry into the campaign identity")
-	}
-	if h.Opt.BaseConfig.WorkloadDigest != workloads.RegistryFingerprint() {
-		t.Fatal("digest is not the registry fingerprint")
-	}
-	// A caller-provided digest wins (the CLIs set it after registering
-	// workload files).
+// TestFigMixRendersAndStaysOptional pins the multi-tenant fairness
+// table: one row per (mix, variant, tenant), a slowdown in every
+// tenant row, max/min and Jain on each group's first row — and, like
+// figext, exclusion from the default campaign.
+func TestFigMixRendersAndStaysOptional(t *testing.T) {
 	o := tinyOptions()
-	o.BaseConfig.WorkloadDigest = "custom"
-	if NewHarness(o).Opt.BaseConfig.WorkloadDigest != "custom" {
-		t.Fatal("caller digest overwritten")
+	h := NewHarness(o)
+	tab, err := h.Render(context.Background(), "figmix")
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Different digests → different store fingerprints.
-	a, b := tinyOptions(), tinyOptions()
-	a.BaseConfig.WorkloadDigest = "one"
-	b.BaseConfig.WorkloadDigest = "two"
-	if store.Fingerprint(a.BaseConfig, a.Seed) == store.Fingerprint(b.BaseConfig, b.Seed) {
-		t.Fatal("workload digest does not reach the store fingerprint")
+	wantRows := 0
+	for _, name := range h.Opt.Mixes {
+		m, err := tenant.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRows += len(m.Tenants) * len(figmixVariants)
+	}
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("figmix has %d rows, want %d", len(tab.Rows), wantRows)
+	}
+	for i, row := range tab.Rows {
+		if s := parse(t, row[7]); s <= 0 {
+			t.Errorf("row %d: slowdown %q not positive", i, row[7])
+		}
+	}
+	// Jain index lives on each group's first row and is a fraction.
+	if j := parse(t, tab.Rows[0][9]); j <= 0 || j > 1 {
+		t.Errorf("Jain index %v outside (0,1]", j)
+	}
+	tables, err := NewHarness(o).AllErr(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if tb.ID == "figmix" {
+			t.Fatal("optional figmix leaked into the default campaign")
+		}
+	}
+}
+
+// TestFigMixParallelDeterminism is the mixed-run acceptance contract:
+// the fairness table — per-tenant completion times, slowdowns, and
+// fairness indices included — renders byte-identically at any
+// parallelism.
+func TestFigMixParallelDeterminism(t *testing.T) {
+	render := func(parallelism int) string {
+		o := tinyOptions()
+		o.SweepInstr = 24_000
+		o.Parallelism = parallelism
+		tab, err := NewHarness(o).Render(context.Background(), "figmix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("figmix differs between Parallelism 1 and 8:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestFigExtShapes pins the extension scenarios' stories the way the
+// Fig. 14/18 tests pin the paper's: graph500's pointer chase is the
+// coordinated context switch's win (SkyByte-C beats Base-CSSD), and
+// log-append's dense sequential appends are the write log's
+// adversarial case (SkyByte-W provides no win over Base-CSSD's
+// page-granular cache there).
+func TestFigExtShapes(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	tab := h.FigExt()
+	cCol, wCol := -1, -1
+	for i, hd := range tab.Header {
+		switch hd {
+		case string(system.SkyByteC):
+			cCol = i
+		case string(system.SkyByteW):
+			wCol = i
+		}
+	}
+	if cCol < 0 || wCol < 0 {
+		t.Fatal("variant columns missing from figext")
+	}
+	found := map[string]bool{}
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "graph500":
+			found["graph500"] = true
+			if norm := parse(t, row[cCol]); norm >= 1.0 {
+				t.Errorf("graph500: SkyByte-C normalized time %.3f; the context switch should win (<1.0)", norm)
+			}
+		case "log-append":
+			found["log-append"] = true
+			if norm := parse(t, row[wCol]); norm < 0.98 {
+				t.Errorf("log-append: SkyByte-W normalized time %.3f; dense appends should deny the log a win (>=0.98)", norm)
+			}
+		}
+	}
+	if !found["graph500"] || !found["log-append"] {
+		t.Fatalf("figext rows missing scenarios: %v", found)
+	}
+}
+
+// TestRunMixRejectsUnregisteredOrEditedMixes: specs carry only the mix
+// name and the runner re-resolves it, so planning a Mix value that is
+// not (or no longer) the registered definition must fail at
+// declaration rather than silently simulate the registered one.
+func TestRunMixRejectsUnregisteredOrEditedMixes(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	mustPanic := func(name string, m tenant.Mix) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: RunMix did not panic", name)
+			}
+		}()
+		h.NewPlan().RunMix(m, system.BaseCSSD, 1000, "")
+	}
+	unregistered := tenant.Mix{
+		Format:  tenant.MixFormatVersion,
+		Name:    "never-registered",
+		Tenants: []tenant.TenantDef{{Workload: "bc", Threads: 2}},
+	}
+	mustPanic("unregistered", unregistered)
+
+	edited, err := tenant.ByName("graph-vs-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited.Tenants = append([]tenant.TenantDef(nil), edited.Tenants...)
+	edited.Tenants[0].Intensity = 2 // same name, different semantics
+	mustPanic("edited copy of a registered mix", edited)
+
+	// The registered definition itself plans fine.
+	reg, _ := tenant.ByName("graph-vs-log")
+	if pe := h.NewPlan().RunMix(reg, system.BaseCSSD, 1000, ""); pe == nil {
+		t.Fatal("registered mix rejected")
+	}
+}
+
+// TestSurgicalStoreInvalidation pins the §2.1 contract after the
+// WorkloadDigest → source-folded-spec-key change: registering an
+// *unrelated* workload must not cool a single cached entry — the warm
+// campaign still performs zero simulations — because invalidation now
+// lives in each spec's own key, not in a whole-registry digest.
+func TestSurgicalStoreInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	o := shardOptions(dir)
+	o.Workloads = []string{"bc"}
+
+	sims := 0
+	h := NewHarness(o)
+	h.Verbose = func(string, *system.Result) { sims++ }
+	h.Fig02()
+	if sims == 0 {
+		t.Fatal("cold campaign simulated nothing")
+	}
+
+	// An unrelated registration: a brand-new declarative workload no
+	// planned spec resolves.
+	unrelated := workloads.Def{
+		Format:         workloads.DefFormatVersion,
+		Name:           "surgical-unrelated",
+		FootprintPages: 1024,
+		Regions:        []workloads.RegionDef{{Name: "r", Start: 0, Size: 1}},
+		Phases: []workloads.PhaseDef{{Ops: []workloads.OpDef{
+			{Op: "load", Region: "r"},
+			{Op: "compute", Min: 4},
+		}}},
+	}
+	if err := workloads.Register(unrelated.MustSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	sims = 0
+	h2 := NewHarness(shardOptionsScoped(dir, "bc"))
+	h2.Verbose = func(string, *system.Result) { sims++ }
+	h2.Fig02()
+	if sims != 0 {
+		t.Fatalf("registering an unrelated workload cooled the store: %d re-simulations", sims)
+	}
+}
+
+func shardOptionsScoped(dir, workload string) Options {
+	o := shardOptions(dir)
+	o.Workloads = []string{workload}
+	return o
+}
+
+// TestMixEditRecoldsOnlyMixEntries pins the mix half of surgical
+// invalidation: re-registering an edited mix re-simulates exactly the
+// co-located design points — the tenants' solo baselines, whose
+// workloads did not change, recall warm from the store.
+func TestMixEditRecoldsOnlyMixEntries(t *testing.T) {
+	mixOf := func(intensity float64) tenant.Mix {
+		return tenant.Mix{
+			Format: tenant.MixFormatVersion,
+			Name:   "edit-mix",
+			Tenants: []tenant.TenantDef{
+				{Workload: "bc", Threads: 2},
+				{Workload: "srad", Threads: 2, Intensity: intensity},
+			},
+		}
+	}
+	if err := tenant.Register(mixOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := func() Options {
+		o := shardOptions(dir)
+		o.Mixes = []string{"edit-mix"}
+		return o
+	}
+
+	sims := 0
+	h := NewHarness(opts())
+	h.Verbose = func(string, *system.Result) { sims++ }
+	if _, err := h.Render(context.Background(), "figmix"); err != nil {
+		t.Fatal(err)
+	}
+	mixedRuns := len(figmixVariants)    // one co-located run per variant
+	soloRuns := 2 * len(figmixVariants) // two tenants' baselines per variant
+	if sims != mixedRuns+soloRuns {
+		t.Fatalf("cold figmix simulated %d runs, want %d", sims, mixedRuns+soloRuns)
+	}
+
+	// The editing loop: same name, changed intensity.
+	if err := tenant.Register(mixOf(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	sims = 0
+	h2 := NewHarness(opts())
+	h2.Verbose = func(string, *system.Result) { sims++ }
+	if _, err := h2.Render(context.Background(), "figmix"); err != nil {
+		t.Fatal(err)
+	}
+	// The changed intensity alters tenant 1's budget, so its solo
+	// baselines are genuinely different design points (new budget in
+	// the key) — they re-simulate along with the mixed runs. Tenant 0's
+	// baselines are untouched and must recall warm.
+	if want := mixedRuns + len(figmixVariants); sims != want {
+		t.Fatalf("edited mix re-simulated %d runs, want %d (mixed runs + the re-budgeted tenant's solos)", sims, want)
 	}
 }

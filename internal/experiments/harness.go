@@ -25,6 +25,7 @@ import (
 	"skybyte/internal/runner"
 	"skybyte/internal/store"
 	"skybyte/internal/system"
+	"skybyte/internal/tenant"
 	"skybyte/internal/workloads"
 )
 
@@ -39,7 +40,12 @@ type Options struct {
 	SweepInstr uint64
 	// Workloads restricts the benchmark set (default: all of Table I).
 	Workloads []string
-	Seed      uint64
+	// Mixes restricts the multi-tenant mix set the optional figmix
+	// fairness table compares (default: every resolvable mix — the
+	// built-in pairings plus anything registered via tenant.Register/
+	// RegisterFile). Names resolve through tenant.ByName.
+	Mixes []string
+	Seed  uint64
 	// Parallelism bounds the simulations in flight at once
 	// (0 = GOMAXPROCS, 1 = fully sequential). Tables are identical at
 	// any setting; only wall-clock changes.
@@ -120,15 +126,15 @@ func NewHarness(opt Options) *Harness {
 	if opt.Seed == 0 {
 		opt.Seed = def.Seed
 	}
-	// Fold the resolved workload definitions into the campaign
-	// identity: the store fingerprint below hashes BaseConfig, so an
-	// edited workload file, a re-recorded trace, or a generator/codec
-	// version bump gives the campaign a fresh store namespace instead
-	// of stale recalls (DESIGN.md §2.1). Register file workloads
-	// before building the harness.
-	if opt.BaseConfig.WorkloadDigest == "" {
-		opt.BaseConfig.WorkloadDigest = workloads.RegistryFingerprint()
+	if len(opt.Mixes) == 0 {
+		opt.Mixes = tenant.Names()
 	}
+	// Workload and mix definitions reach the store identity through the
+	// runner spec key, not the campaign fingerprint: every Spec.Key
+	// folds a digest of its resolved generator source, so an edited
+	// workload file re-colds exactly the design points that use it
+	// (DESIGN.md §2.1). Register file workloads and mixes before
+	// building the harness so plans resolve them.
 	h := &Harness{Opt: opt}
 	h.run = runner.New(opt.BaseConfig, opt.Seed, opt.Parallelism)
 	if opt.CacheDir != "" {
@@ -224,6 +230,52 @@ func (p *Plan) Run(spec workloads.Spec, v system.Variant, totalInstr uint64, thr
 			}
 		}
 	}
+	return p.add(s)
+}
+
+// RunMix declares one multi-tenant design point: the mix's tenant
+// groups co-located on one machine under variant v with totalInstr
+// total instructions split per the mix's thread counts and
+// intensities. De-duplicates like Run; the executed Result carries the
+// per-tenant accounting slice.
+//
+// The mix must be registered (tenant.Register / MixFromFile) and match
+// its registered definition: specs carry only the mix *name*, and the
+// runner re-resolves it at execution time, so planning an unregistered
+// or locally edited Mix value would silently simulate something other
+// than what the caller passed. Mismatches panic here, at declaration,
+// rather than mis-attribute results later.
+func (p *Plan) RunMix(m tenant.Mix, v system.Variant, totalInstr uint64, tag string, muts ...mutate) *Pending {
+	if p.done {
+		panic("experiments: Plan.RunMix after Plan.MustExecute")
+	}
+	reg, err := tenant.ByName(m.Name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: Plan.RunMix: mix %q is not registered (tenant.Register or skybyte.MixFromFile it before planning): %v", m.Name, err))
+	}
+	if reg.SourceID() != m.SourceID() {
+		panic(fmt.Sprintf("experiments: Plan.RunMix: mix %q differs from its registered definition; re-register the edited mix before planning", m.Name))
+	}
+	s := runner.Spec{
+		Mix:        m.Name,
+		Variant:    v,
+		TotalInstr: totalInstr,
+		Threads:    m.TotalThreads(),
+		Tag:        tag,
+	}
+	if len(muts) > 0 {
+		s.Mutate = func(c *system.Config) {
+			for _, mu := range muts {
+				mu(c)
+			}
+		}
+	}
+	return p.add(s)
+}
+
+// add de-duplicates s against earlier declarations and returns its
+// handle.
+func (p *Plan) add(s runner.Spec) *Pending {
 	key := s.Key()
 	if i, ok := p.index[key]; ok {
 		return &Pending{p: p, i: i}

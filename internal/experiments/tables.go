@@ -206,6 +206,7 @@ func (h *Harness) catalog() []catalogEntry {
 		{id: "cost", plan: h.costEffectiveness},
 		{id: "writelog", plan: h.writeLogStats},
 		{id: "figext", plan: h.figExt, optional: true},
+		{id: "figmix", plan: h.figMix, optional: true},
 	}
 }
 

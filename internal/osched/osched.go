@@ -10,6 +10,7 @@ import (
 	"container/heap"
 
 	"skybyte/internal/sim"
+	"skybyte/internal/stats"
 	"skybyte/internal/trace"
 )
 
@@ -21,6 +22,12 @@ type Thread struct {
 	Name   string
 	Replay *trace.Replayer
 
+	// Tenant indexes the thread's tenant group in a multi-tenant run
+	// (system.DeclareTenants); 0 — the only group — in a solo run.
+	// Per-thread measurements below aggregate by this index into the
+	// per-tenant Result slice.
+	Tenant int
+
 	// Warmup is the instruction count below which the thread's accesses
 	// are excluded from latency/AMAT statistics (state still warms).
 	Warmup uint64
@@ -29,8 +36,22 @@ type Thread struct {
 	Progress uint64
 	// VRuntime accumulates received execution time for the CFS policy.
 	VRuntime sim.Time
-	// Switches counts context switches this thread experienced.
+	// Bound accumulates where this thread's core time went while it was
+	// scheduled (the per-tenant split of the Figs. 4/10 accounting). The
+	// CPU charges it alongside the per-core totals, so summing Bound
+	// over all threads reproduces the system Boundedness exactly.
+	Bound stats.Boundedness
+	// Switches counts context switches this thread experienced — both
+	// SkyByte-Delay exceptions and the switch paid when the thread
+	// retires and a successor is swapped in.
 	Switches uint64
+	// HintSwitches counts the subset of Switches triggered by a
+	// SkyByte-Delay long-flash-miss exception.
+	HintSwitches uint64
+	// Enqueues counts run-queue insertions of this thread.
+	Enqueues uint64
+	// LLCMisses counts demand LLC misses this thread issued.
+	LLCMisses uint64
 	// Finished is set when the trace is fully retired.
 	Finished bool
 }
@@ -179,6 +200,7 @@ func (s *Scheduler) Runnable() int { return s.policy.Len() }
 // are woken.
 func (s *Scheduler) Enqueue(t *Thread) {
 	s.stats.Enqueues++
+	t.Enqueues++
 	s.policy.Enqueue(t)
 	if len(s.waiters) > 0 {
 		w := s.waiters[0]

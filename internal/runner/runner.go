@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"skybyte/internal/system"
+	"skybyte/internal/tenant"
 	"skybyte/internal/workloads"
 )
 
@@ -257,8 +258,12 @@ func (r *Runner) RunAll(ctx context.Context, specs []Spec) ([]*system.Result, er
 }
 
 // execute performs one simulation: wire a fresh System from the mutated
-// variant config and drive every thread stream to retirement.
+// variant config and drive every thread stream to retirement. Mix specs
+// resolve their tenant groups and attribute results per tenant.
 func (r *Runner) execute(spec Spec, key string) (*system.Result, error) {
+	if spec.Mix != "" {
+		return r.executeMix(spec, key)
+	}
 	w, err := workloads.ByName(spec.Workload)
 	if err != nil {
 		return nil, err
@@ -275,6 +280,31 @@ func (r *Runner) execute(spec Spec, key string) (*system.Result, error) {
 	per := spec.TotalInstr / uint64(threads)
 	for i := 0; i < threads; i++ {
 		sys.AddThread(w.Stream(i, r.seed), per)
+	}
+	res := sys.Run()
+	res.CacheKey = key
+	return res, nil
+}
+
+// executeMix runs one multi-tenant design point: the mix declares the
+// thread layout (Spec.Threads, if set, must agree with it — a mix's
+// thread counts are part of its definition, not a per-run knob).
+func (r *Runner) executeMix(spec Spec, key string) (*system.Result, error) {
+	m, err := tenant.ByName(spec.Mix)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Threads != 0 && spec.Threads != m.TotalThreads() {
+		return nil, fmt.Errorf("runner: mix %q declares %d threads; spec asks for %d (leave Threads 0 or match the mix)",
+			spec.Mix, m.TotalThreads(), spec.Threads)
+	}
+	cfg := r.base.WithVariant(spec.Variant)
+	if spec.Mutate != nil {
+		spec.Mutate(&cfg)
+	}
+	sys := system.New(cfg)
+	if err := m.Apply(sys, spec.TotalInstr, r.seed); err != nil {
+		return nil, err
 	}
 	res := sys.Run()
 	res.CacheKey = key

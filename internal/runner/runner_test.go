@@ -2,10 +2,13 @@ package runner
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 
 	"skybyte/internal/system"
+	"skybyte/internal/tenant"
+	"skybyte/internal/workloads"
 )
 
 func testRunner(parallelism int) *Runner {
@@ -18,12 +21,81 @@ func spec(workload string, v system.Variant, tag string) Spec {
 
 func TestKeyStable(t *testing.T) {
 	s := spec("bc", system.BaseCSSD, "x")
-	want := "bc|Base-CSSD|24000|8|x"
-	if s.Key() != want {
-		t.Fatalf("Key() = %q, want %q", s.Key(), want)
+	wantPrefix := "bc|Base-CSSD|24000|8|x|src="
+	if !strings.HasPrefix(s.Key(), wantPrefix) {
+		t.Fatalf("Key() = %q, want prefix %q", s.Key(), wantPrefix)
+	}
+	if s.Key() != spec("bc", system.BaseCSSD, "x").Key() {
+		t.Fatal("identical specs must yield identical keys")
 	}
 	if spec("bc", system.BaseCSSD, "y").Key() == s.Key() {
 		t.Fatal("distinct tags must yield distinct keys")
+	}
+	if strings.HasSuffix(spec("bc", system.BaseCSSD, "x").Key(), "unresolved") {
+		t.Fatal("built-in workload keyed as unresolved")
+	}
+	if !strings.HasSuffix(spec("no-such", system.BaseCSSD, "").Key(), "src=unresolved") {
+		t.Fatal("unknown workload should key as unresolved")
+	}
+}
+
+// TestKeyFoldsWorkloadSource pins the surgical-invalidation scheme:
+// the spec key folds the resolved workload's source identity, so a
+// replaced definition re-keys exactly its own specs — and registering
+// an unrelated workload changes no existing key at all.
+func TestKeyFoldsWorkloadSource(t *testing.T) {
+	defOf := func(theta float64) workloads.Def {
+		return workloads.Def{
+			Format:         workloads.DefFormatVersion,
+			Name:           "keyfold-w",
+			FootprintPages: 2048,
+			Regions:        []workloads.RegionDef{{Name: "r", Start: 0, Size: 1}},
+			Phases: []workloads.PhaseDef{{Ops: []workloads.OpDef{
+				{Op: "load", Region: "r", Kernel: workloads.KernelZipf, Theta: theta},
+				{Op: "compute", Min: 4},
+			}}},
+		}
+	}
+	if err := workloads.Register(defOf(0.8).MustSpec()); err != nil {
+		t.Fatal(err)
+	}
+	bcBefore := spec("bc", system.BaseCSSD, "").Key()
+	regBefore := spec("keyfold-w", system.BaseCSSD, "").Key()
+
+	// Edit the registered definition (the file-editing loop): its own
+	// key must change, every other key must not.
+	if err := workloads.Register(defOf(0.7).MustSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if got := spec("keyfold-w", system.BaseCSSD, "").Key(); got == regBefore {
+		t.Fatal("edited definition kept its old spec key (stale store entries would serve)")
+	}
+	if got := spec("bc", system.BaseCSSD, "").Key(); got != bcBefore {
+		t.Fatalf("editing one workload re-keyed an unrelated spec: %q vs %q", got, bcBefore)
+	}
+
+	// A mix referencing the edited workload re-keys too.
+	m := tenant.Mix{
+		Format: tenant.MixFormatVersion,
+		Name:   "keyfold-mix",
+		Tenants: []tenant.TenantDef{
+			{Workload: "keyfold-w", Threads: 2},
+			{Workload: "bc", Threads: 2},
+		},
+	}
+	if err := tenant.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	mixSpec := Spec{Mix: "keyfold-mix", Variant: system.BaseCSSD, TotalInstr: 24_000, Threads: 4}
+	mixBefore := mixSpec.Key()
+	if !strings.HasPrefix(mixBefore, "mix:keyfold-mix|Base-CSSD|24000|4||src=") {
+		t.Fatalf("mix key format unexpected: %q", mixBefore)
+	}
+	if err := workloads.Register(defOf(0.9).MustSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if mixSpec.Key() == mixBefore {
+		t.Fatal("editing a member workload did not re-key the mix spec")
 	}
 }
 
@@ -320,6 +392,86 @@ func TestRunAllConcurrentCallers(t *testing.T) {
 	for i := range specs {
 		if out[0][i] != out[1][i] {
 			t.Fatalf("caller results diverge at %d", i)
+		}
+	}
+}
+
+// TestMixSpecExecutes pins the runner's multi-tenant path: a mix spec
+// resolves its tenant groups, runs them co-located, and returns a
+// Result whose Tenants slice matches the mix in order and thread
+// counts — with memoization working exactly as for workload specs.
+func TestMixSpecExecutes(t *testing.T) {
+	r := testRunner(2)
+	s := Spec{Mix: "graph-vs-log", Variant: system.BaseCSSD, TotalInstr: 16_000}
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tenant.ByName("graph-vs-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != len(m.Tenants) {
+		t.Fatalf("got %d tenant results, want %d", len(res.Tenants), len(m.Tenants))
+	}
+	for i, tr := range res.Tenants {
+		if tr.Workload != m.Tenants[i].Workload || tr.Threads != m.Tenants[i].Threads {
+			t.Fatalf("tenant %d = %q/%d threads, want %q/%d", i, tr.Workload, tr.Threads, m.Tenants[i].Workload, m.Tenants[i].Threads)
+		}
+		if tr.Instructions == 0 || tr.ExecTime == 0 {
+			t.Fatalf("tenant %d made no progress: %+v", i, tr)
+		}
+	}
+	again, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != res {
+		t.Fatal("mix spec not memoized")
+	}
+	// Threads, when set, must agree with the mix declaration.
+	bad := s
+	bad.Threads = m.TotalThreads() + 1
+	if _, err := r.Run(context.Background(), bad); err == nil {
+		t.Fatal("mismatched Threads accepted for a mix spec")
+	}
+	if _, err := r.Run(context.Background(), Spec{Mix: "no-such-mix", Variant: system.BaseCSSD, TotalInstr: 1000}); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+// TestMixParallelByteIdentity pins per-tenant determinism across
+// worker-pool sizes: the same mixed design points executed at
+// parallelism 1 and 8 must produce byte-identical encoded Results —
+// per-tenant slices included.
+func TestMixParallelByteIdentity(t *testing.T) {
+	specs := []Spec{
+		{Mix: "graph-vs-log", Variant: system.BaseCSSD, TotalInstr: 16_000},
+		{Mix: "graph-vs-log", Variant: system.SkyByteFull, TotalInstr: 16_000},
+		{Mix: "scan-vs-point", Variant: system.SkyByteFull, TotalInstr: 16_000},
+	}
+	seq, err := testRunner(1).RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := testRunner(8).RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		a, err := system.EncodeResult(seq[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := system.EncodeResult(par[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("spec %d (%s): parallel mixed run diverged from sequential", i, specs[i].Key())
+		}
+		if len(seq[i].Tenants) == 0 {
+			t.Errorf("spec %d: no per-tenant results", i)
 		}
 	}
 }

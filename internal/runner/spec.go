@@ -16,27 +16,39 @@
 package runner
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"skybyte/internal/system"
+	"skybyte/internal/tenant"
+	"skybyte/internal/workloads"
 )
 
-// Spec names one design point: a workload, a variant, a work budget, a
-// thread count, and an optional config mutation. Two Specs with equal
-// Key() are interchangeable; Mutate is deliberately excluded from the
-// identity, so callers must give every distinct mutation a distinct Tag.
+// Spec names one design point: a workload (or multi-tenant mix), a
+// variant, a work budget, a thread count, and an optional config
+// mutation. Two Specs with equal Key() are interchangeable; Mutate is
+// deliberately excluded from the identity, so callers must give every
+// distinct mutation a distinct Tag.
 type Spec struct {
 	// Workload is a Table I benchmark name (resolved via workloads.ByName).
+	// Ignored when Mix is set.
 	Workload string
+	// Mix, when set, names a multi-tenant mix (resolved via
+	// tenant.ByName): the run assigns each tenant group's workload to
+	// its thread range and the Result carries per-tenant accounting.
+	Mix string
 	// Variant is the design point applied to the base config.
 	Variant system.Variant
 	// TotalInstr is the total instruction budget, divided evenly among
-	// threads so every design point executes the same program section.
+	// threads (scaled per tenant by mix intensities) so every design
+	// point executes the same program section.
 	TotalInstr uint64
 	// Threads is the software thread count; 0 means the paper default
-	// (ThreadsFor) resolved after Mutate has run.
+	// (ThreadsFor) resolved after Mutate has run — or, for a mix, the
+	// mix's declared total.
 	Threads int
 	// Tag distinguishes config mutations that share the same
 	// workload/variant/budget, e.g. "thr10" for a threshold sweep cell.
@@ -46,11 +58,46 @@ type Spec struct {
 	Mutate func(*system.Config)
 }
 
-// Key returns the spec's stable cache identity. The format matches the
-// memoization key the pre-runner harness used, so verbose logs stay
-// comparable across versions.
+// Key returns the spec's stable cache identity:
+//
+//	workload|variant|budget|threads|tag|src=<digest>
+//
+// (the first segment is "mix:<name>" for mix specs). The trailing src
+// digest is the resolved generator's source identity — the workload's
+// SourceID, or for a mix its fingerprint plus every member workload's
+// SourceID — truncated to 16 hex chars. Folding the source into the
+// key is what makes persistent-store invalidation *surgical*: editing
+// one workload file re-keys exactly the design points that resolve it
+// (and any mixes referencing it), while every other cached entry
+// stays warm. An unresolvable name keys as src=unresolved; execution
+// fails before simulating, and nothing is cached under that key.
 func (s Spec) Key() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%s", s.Workload, s.Variant, s.TotalInstr, s.Threads, s.Tag)
+	name := s.Workload
+	if s.Mix != "" {
+		name = "mix:" + s.Mix
+	}
+	return fmt.Sprintf("%s|%s|%d|%d|%s|src=%s", name, s.Variant, s.TotalInstr, s.Threads, s.Tag, s.sourceDigest())
+}
+
+// sourceDigest resolves the spec's generator source identity against
+// the live registries and compresses it to 16 hex chars.
+func (s Spec) sourceDigest() string {
+	var src string
+	if s.Mix != "" {
+		m, err := tenant.ByName(s.Mix)
+		if err != nil {
+			return "unresolved"
+		}
+		src = m.SourceID()
+	} else {
+		w, err := workloads.ByName(s.Workload)
+		if err != nil {
+			return "unresolved"
+		}
+		src = w.SourceID()
+	}
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:8])
 }
 
 // ThreadsFor resolves the paper's §VI-A thread default: 24 threads on 8

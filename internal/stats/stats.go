@@ -207,6 +207,50 @@ func Ratio(a, b float64) float64 {
 	return a / b
 }
 
+// JainIndex returns Jain's fairness index over xs:
+// (Σx)² / (n·Σx²), in (0,1] — 1 when every value is equal, 1/n when a
+// single tenant receives everything. Multi-tenant tables apply it to
+// per-tenant slowdowns (or normalized throughputs). Zero shares count
+// toward n — a fully starved tenant drives the index down, it does
+// not vanish from it; negative values (which no rate can produce)
+// clamp to zero. An all-zero or empty input returns 0.
+func JainIndex(xs []float64) float64 {
+	sum, sumSq := 0.0, 0.0
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if len(xs) == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// MaxMinRatio returns max(xs)/min(xs) over the positive values — the
+// worst-to-best disparity a co-located tenant experiences (1 = perfectly
+// even). Returns 0 with no positive values.
+func MaxMinRatio(xs []float64) float64 {
+	lo, hi := math.Inf(1), 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return hi / lo
+}
+
 // GeoMean returns the geometric mean of xs (ignoring non-positive values),
 // matching the paper's "geo. mean" columns.
 func GeoMean(xs []float64) float64 {

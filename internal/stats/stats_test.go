@@ -174,6 +174,41 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: Jain = %v, want 1", got)
+	}
+	// One tenant gets everything: 1/n — starved tenants count, they do
+	// not vanish from the index.
+	if got := JainIndex([]float64{5, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("one-tenant-takes-all: Jain = %v, want 0.25", got)
+	}
+	got := JainIndex([]float64{1, 3})
+	want := 16.0 / (2 * 10) // (1+3)² / (2·(1+9))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Jain(1,3) = %v, want %v", got, want)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, -2}) != 0 {
+		t.Error("empty/all-zero input should yield 0")
+	}
+	// Negative values clamp to zero rather than poisoning the sums.
+	if got := JainIndex([]float64{2, -2}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jain(2,-2) = %v, want 0.5", got)
+	}
+}
+
+func TestMaxMinRatio(t *testing.T) {
+	if got := MaxMinRatio([]float64{2, 2, 2}); got != 1 {
+		t.Errorf("even values: ratio = %v, want 1", got)
+	}
+	if got := MaxMinRatio([]float64{0.5, 2, -1, 0}); got != 4 {
+		t.Errorf("ratio = %v, want 4 (non-positive ignored)", got)
+	}
+	if MaxMinRatio(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
 func TestBoundedness(t *testing.T) {
 	b := Boundedness{Compute: 25, MemStall: 50, CtxSwitch: 25}
 	if b.Total() != 100 {

@@ -13,7 +13,9 @@ import (
 // the persistent store folds the version into its content address, so
 // entries written under an older codec simply miss and re-simulate —
 // they can never decode into a wrong table.
-const ResultCodecVersion = 1
+//
+// v2: Result gained the per-tenant Tenants slice (multi-tenant runs).
+const ResultCodecVersion = 2
 
 // EncodeResult serializes r canonically: the same measurements always
 // produce the same bytes (struct fields encode in declaration order,

@@ -144,16 +144,6 @@ type Config struct {
 	PreconditionRewrit float64
 	Seed               uint64
 	TrackLocality      bool
-
-	// WorkloadDigest is the identity of the workload definitions the
-	// campaign resolves against (workloads.RegistryFingerprint): it has
-	// no effect on a simulation, but because Fingerprint() folds it in,
-	// a persistent result store can never serve a result produced under
-	// different workload definitions — an edited workload file, a
-	// re-recorded trace, a generator or codec version bump. Campaign
-	// layers (experiments.NewHarness, the CLIs) populate it; leave it
-	// empty only when no store is involved. See DESIGN.md §2.1/§3.
-	WorkloadDigest string
 }
 
 // ScaledConfig is the evaluation configuration at 1/64 of Table II's

@@ -53,6 +53,58 @@ type Result struct {
 	// Locality CDFs (Figs. 5–6) when TrackLocality was on.
 	ReadLocality  []stats.CDFPoint
 	WriteLocality []stats.CDFPoint
+
+	// Tenants carries the per-tenant accounting of a multi-tenant run
+	// (DeclareTenants), in tenant declaration order; nil for solo runs.
+	// Each tenant's counters are exact splits of the whole-system
+	// measurements above: instructions, boundedness, request classes,
+	// context switches, LLC misses, and write-log activity all sum to
+	// the system totals (TestTenantStatsSumToSystemTotals).
+	Tenants []TenantResult `json:",omitempty"`
+}
+
+// TenantResult is one tenant group's share of a mixed run: the same
+// measurement vocabulary as the whole-system Result, restricted to the
+// threads (and their memory requests) of one tenant.
+type TenantResult struct {
+	// Name and Workload identify the tenant group and what it ran.
+	Name     string
+	Workload string
+	// Threads is the group's software thread count.
+	Threads int
+
+	// Instructions is the group's total retired instruction count.
+	Instructions uint64
+	// ExecTime is when the group's last thread retired — the tenant's
+	// completion time, the basis of per-tenant slowdown.
+	ExecTime sim.Time
+
+	Bound     stats.Boundedness      // where this tenant's core time went
+	Breakdown stats.RequestBreakdown // the tenant's off-chip request classes
+	AMAT      stats.AMAT             // the tenant's demand-access components
+	ReadLat   stats.LatencyHist      // the tenant's off-chip read latencies
+
+	CtxSwitches  uint64 // context switches the tenant's threads experienced
+	HintSwitches uint64 // those triggered by SkyByte-Delay exceptions
+	HintsSent    uint64 // NDR SkyByte-Delay messages for the tenant's reads
+	Enqueues     uint64 // run-queue insertions of the tenant's threads
+	LLCMisses    uint64
+	MPKI         float64
+
+	// Log splits the write path by tenant: who fills the write log
+	// (forcing the compaction drains everyone shares) and who eats
+	// backpressure stalls.
+	Log core.TenantLogStats
+}
+
+// IPS returns the tenant's retired instructions per second of simulated
+// time (its progress rate while co-located).
+func (t *TenantResult) IPS() float64 {
+	secs := t.ExecTime.Seconds()
+	if secs == 0 {
+		return 0
+	}
+	return float64(t.Instructions) / secs
 }
 
 // IPS returns retired instructions per second of simulated time.
@@ -119,7 +171,46 @@ func (s *System) collect() *Result {
 		r.ReadLocality = s.ctrl.Cache().ReadLocality.CDF()
 		r.WriteLocality = s.ctrl.WriteLocality.CDF()
 	}
+	s.collectTenants(r)
 	return r
+}
+
+// collectTenants assembles the per-tenant Result slice of a declared
+// multi-tenant run from the per-thread scheduler accounting, the
+// per-tenant request-path accumulators, and the controller's tenant
+// write accounting.
+func (s *System) collectTenants(r *Result) {
+	if len(s.tenantInfo) == 0 {
+		return
+	}
+	tlog := s.ctrl.TenantLog()
+	r.Tenants = make([]TenantResult, len(s.tenantInfo))
+	for i, info := range s.tenantInfo {
+		tr := &r.Tenants[i]
+		tr.Name, tr.Workload, tr.Threads = info.Name, info.Workload, info.Threads
+		tr.ExecTime = s.tenantDone[i]
+		tr.Breakdown = s.tenantBreak[i]
+		tr.AMAT = s.tenantAMAT[i]
+		tr.ReadLat = s.tenantReadLat[i]
+		tr.HintsSent = s.tenantHints[i]
+		if i < len(tlog) {
+			tr.Log = tlog[i]
+		}
+	}
+	for _, t := range s.threads {
+		tr := &r.Tenants[t.Tenant]
+		tr.Instructions += t.Progress
+		tr.Bound.Add(t.Bound)
+		tr.CtxSwitches += t.Switches
+		tr.HintSwitches += t.HintSwitches
+		tr.Enqueues += t.Enqueues
+		tr.LLCMisses += t.LLCMisses
+	}
+	for i := range r.Tenants {
+		if tr := &r.Tenants[i]; tr.Instructions > 0 {
+			tr.MPKI = float64(tr.LLCMisses) / float64(tr.Instructions) * 1000
+		}
+	}
 }
 
 var _ cpu.Backend = (*System)(nil)

@@ -70,6 +70,24 @@ type System struct {
 	flashLat  stats.LatencyHist
 	migr      MigrationStats
 	hints     uint64
+
+	// Per-tenant measurement state of a multi-tenant run
+	// (DeclareTenants); all nil/empty in solo runs, in which case the
+	// request paths skip tenant attribution entirely.
+	tenantInfo    []TenantInfo
+	tenantBreak   []stats.RequestBreakdown
+	tenantAMAT    []stats.AMAT
+	tenantReadLat []stats.LatencyHist
+	tenantHints   []uint64
+	tenantDone    []sim.Time
+}
+
+// TenantInfo names one tenant group of a multi-tenant run: the group
+// label, the workload its threads replay, and its thread count.
+type TenantInfo struct {
+	Name     string
+	Workload string
+	Threads  int
 }
 
 type astriFetch struct{ writeAccepts []func() }
@@ -143,10 +161,39 @@ func (s *System) Cores() []*cpu.Core { return s.cores }
 
 // AddThread registers one software thread replaying stream, truncated to
 // totalInstr instructions. The leading WarmupFrac fraction is excluded from
-// latency statistics.
+// latency statistics. The thread joins tenant group 0 — the only group of
+// a solo run; multi-tenant runs use DeclareTenants + AddThreadFor.
 func (s *System) AddThread(stream trace.Stream, totalInstr uint64) *osched.Thread {
+	return s.AddThreadFor(0, stream, totalInstr)
+}
+
+// DeclareTenants switches the system into multi-tenant accounting:
+// each subsequent AddThreadFor call attributes its thread to one of the
+// declared groups, the request paths split their measurements per
+// group, and Run's Result carries a Tenants slice in declaration
+// order. Call once, before any threads are added.
+func (s *System) DeclareTenants(infos []TenantInfo) {
+	if len(s.threads) > 0 || len(s.tenantInfo) > 0 {
+		panic("system: DeclareTenants must be called once, before AddThread")
+	}
+	s.tenantInfo = append([]TenantInfo(nil), infos...)
+	n := len(s.tenantInfo)
+	s.tenantBreak = make([]stats.RequestBreakdown, n)
+	s.tenantAMAT = make([]stats.AMAT, n)
+	s.tenantReadLat = make([]stats.LatencyHist, n)
+	s.tenantHints = make([]uint64, n)
+	s.tenantDone = make([]sim.Time, n)
+}
+
+// AddThreadFor is AddThread with an explicit tenant group index
+// (0 <= tenant < len of the DeclareTenants slice; 0 when none declared).
+func (s *System) AddThreadFor(tenant int, stream trace.Stream, totalInstr uint64) *osched.Thread {
+	if len(s.tenantInfo) > 0 && (tenant < 0 || tenant >= len(s.tenantInfo)) {
+		panic("system: AddThreadFor tenant index out of range")
+	}
 	t := &osched.Thread{
 		ID:     len(s.threads),
+		Tenant: tenant,
 		Replay: trace.NewReplayer(&trace.Limited{Src: stream, Budget: totalInstr}),
 		Warmup: uint64(s.cfg.WarmupFrac * float64(totalInstr)),
 	}
@@ -158,6 +205,9 @@ func (s *System) onThreadFinished(t *osched.Thread, at sim.Time) {
 	s.finished++
 	if at > s.lastDone {
 		s.lastDone = at
+	}
+	if len(s.tenantDone) > 0 && at > s.tenantDone[t.Tenant] {
+		s.tenantDone[t.Tenant] = at
 	}
 }
 
@@ -183,6 +233,30 @@ func (s *System) Run() *Result {
 
 func cxlOffset(a mem.Addr) uint64 { return uint64(a - mem.CXLBase) }
 func cxlPage(a mem.Addr) uint64   { return cxlOffset(a) >> mem.PageShift }
+
+// --- measurement recording ---
+
+// recordRead books one completed off-chip read into the system
+// accumulators and, in a multi-tenant run, the issuing tenant's slice.
+func (s *System) recordRead(tenant int, lat sim.Time, class stats.RequestClass, parts [5]sim.Time) {
+	s.readLat.Observe(lat)
+	s.breakdown.Inc(class)
+	s.amat.AddAccess(parts)
+	if len(s.tenantInfo) > 0 {
+		s.tenantReadLat[tenant].Observe(lat)
+		s.tenantBreak[tenant].Inc(class)
+		s.tenantAMAT[tenant].AddAccess(parts)
+	}
+}
+
+// recordClass books one classified request without latency components
+// (the write paths).
+func (s *System) recordClass(tenant int, class stats.RequestClass) {
+	s.breakdown.Inc(class)
+	if len(s.tenantInfo) > 0 {
+		s.tenantBreak[tenant].Inc(class)
+	}
+}
 
 // --- cpu.Backend ---
 
@@ -219,6 +293,9 @@ func (s *System) Read(req *cpu.ReadReq) {
 		if s.cfg.CtxSwitchEnabled {
 			hint = func(est sim.Time) {
 				s.hints++
+				if len(s.tenantHints) > 0 {
+					s.tenantHints[req.Tenant]++
+				}
 				s.link.ToHost(cxl.HeaderBytes, func() { req.OnHint() })
 			}
 		}
@@ -226,13 +303,11 @@ func (s *System) Read(req *cpu.ReadReq) {
 			s.link.ToHost(cxl.DataBytes, func() {
 				if req.Record && !req.Squashed {
 					lat := s.Eng.Now() - t0
-					s.readLat.Observe(lat)
-					s.breakdown.Inc(meta.Class)
 					proto := lat - meta.Index - meta.SSDDRAM - meta.Flash
 					if proto < 0 {
 						proto = 0
 					}
-					s.amat.AddAccess([5]sim.Time{0, proto, meta.Index, meta.SSDDRAM, meta.Flash})
+					s.recordRead(req.Tenant, lat, meta.Class, [5]sim.Time{0, proto, meta.Index, meta.SSDDRAM, meta.Flash})
 					if meta.Class == stats.SSDReadMiss {
 						s.flashLat.Observe(meta.Flash)
 					}
@@ -244,32 +319,32 @@ func (s *System) Read(req *cpu.ReadReq) {
 }
 
 // Write routes a cacheline writeback.
-func (s *System) Write(a mem.Addr, coreID int, record bool, accepted func()) {
+func (s *System) Write(a mem.Addr, coreID, tenant int, record bool, accepted func()) {
 	if !a.IsCXL() || s.cfg.DRAMOnly {
-		s.hostWrite(a, record, accepted)
+		s.hostWrite(a, tenant, record, accepted)
 		return
 	}
 	lpa := cxlPage(a)
 	if _, ok := s.promoted[lpa]; ok {
 		s.pool.Touch(lpa, s.Eng.Now())
-		s.hostWrite(a, record, accepted)
+		s.hostWrite(a, tenant, record, accepted)
 		return
 	}
 	if s.tpp != nil {
 		s.tpp.Note(lpa)
 	}
 	if s.astri != nil {
-		s.astriWrite(a, record, accepted)
+		s.astriWrite(a, tenant, record, accepted)
 		return
 	}
 	s.link.ToDevice(cxl.DataBytes, func() {
 		if _, ok := s.promoted[lpa]; ok {
-			s.hostWrite(a, record, accepted)
+			s.hostWrite(a, tenant, record, accepted)
 			return
 		}
-		s.ctrl.MemWr(cxlOffset(a), nil, record, func() {
+		s.ctrl.MemWr(cxlOffset(a), nil, record, tenant, func() {
 			if record {
-				s.breakdown.Inc(stats.SSDWrite)
+				s.recordClass(tenant, stats.SSDWrite)
 			}
 			// Credit returns to the host over the response channel.
 			s.link.ToHost(cxl.HeaderBytes, accepted)
@@ -282,18 +357,16 @@ func (s *System) hostRead(req *cpu.ReadReq, a mem.Addr) {
 	s.hostDRAM.Access(a, false, func() {
 		if req.Record && !req.Squashed {
 			lat := s.Eng.Now() - t0
-			s.readLat.Observe(lat)
-			s.breakdown.Inc(stats.HostRW)
-			s.amat.AddAccess([5]sim.Time{lat, 0, 0, 0, 0})
+			s.recordRead(req.Tenant, lat, stats.HostRW, [5]sim.Time{lat, 0, 0, 0, 0})
 		}
 		req.OnData()
 	})
 }
 
-func (s *System) hostWrite(a mem.Addr, record bool, accepted func()) {
+func (s *System) hostWrite(a mem.Addr, tenant int, record bool, accepted func()) {
 	s.hostDRAM.Access(a, true, func() {
 		if record {
-			s.breakdown.Inc(stats.HostRW)
+			s.recordClass(tenant, stats.HostRW)
 		}
 		accepted()
 	})
@@ -408,27 +481,27 @@ func (s *System) astriRead(req *cpu.ReadReq, a mem.Addr) {
 		s.hostRead(req, a)
 		return
 	}
-	s.astriMiss(page, req.Record)
+	s.astriMiss(page, req.Tenant, req.Record)
 	// A host-cache miss triggers a user-level thread switch; the request
 	// re-issues after the page lands.
 	s.Eng.After(s.cfg.AstriSwitchCost/4, req.OnHint)
 }
 
-func (s *System) astriWrite(a mem.Addr, record bool, accepted func()) {
+func (s *System) astriWrite(a mem.Addr, tenant int, record bool, accepted func()) {
 	page := a.Page()
 	if s.astri.Access(page, true) {
-		s.hostWrite(a, record, accepted)
+		s.hostWrite(a, tenant, record, accepted)
 		return
 	}
-	f := s.astriMiss(page, record)
+	f := s.astriMiss(page, tenant, record)
 	f.writeAccepts = append(f.writeAccepts, func() {
 		s.astri.Access(page, true) // dirty the landed page
-		s.hostWrite(a, record, accepted)
+		s.hostWrite(a, tenant, record, accepted)
 	})
 }
 
 // astriMiss starts (or joins) the 4 KB on-demand fetch of page from the SSD.
-func (s *System) astriMiss(page mem.Addr, record bool) *astriFetch {
+func (s *System) astriMiss(page mem.Addr, tenant int, record bool) *astriFetch {
 	if f, ok := s.astriIn[page]; ok {
 		return f
 	}
@@ -438,7 +511,7 @@ func (s *System) astriMiss(page mem.Addr, record bool) *astriFetch {
 	s.link.ToDevice(cxl.HeaderBytes, func() {
 		s.ctrl.FetchPage(lpa, func() {
 			if record {
-				s.breakdown.Inc(stats.SSDReadMiss)
+				s.recordClass(tenant, stats.SSDReadMiss)
 			}
 			s.link.ToHost(mem.LinesPerPage*cxl.DataBytes, func() {
 				v := s.astri.Fill(page, false)

@@ -1,0 +1,428 @@
+// Package tenant is the multi-tenant subsystem: it lets one simulation
+// assign *different* workloads to named thread groups and attributes
+// the results per group. The paper evaluates every design point with
+// all hardware threads replaying the same workload, but the target
+// deployment — a CXL-SSD as pooled far memory — is inherently
+// multi-tenant, and interference between co-located workloads is where
+// these designs win or lose (OpenCXD, the CMM-H characterization). A
+// Mix is declarative and JSON-loadable like a workload Def: tenants
+// are data, not code, and a mix's canonical fingerprint (folding the
+// source identity of every member workload) reaches the runner spec
+// key, so the persistent result store re-keys the moment a mix file or
+// a member definition changes — and only then.
+//
+// WORKLOADS.md documents the on-file schema; EXPERIMENTS.md documents
+// the figmix solo-vs-co-located fairness table built on top.
+package tenant
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"skybyte/internal/mem"
+	"skybyte/internal/system"
+	"skybyte/internal/trace"
+	"skybyte/internal/workloads"
+)
+
+// MixFormatVersion names the declarative mix format. It appears as the
+// required "format" field of every mix file and is folded into each
+// mix's fingerprint, so a format change can never silently reinterpret
+// an old file.
+const MixFormatVersion = 1
+
+// Mix assigns workloads to named thread groups. Thread IDs are
+// allocated contiguously in tenant declaration order; each tenant's
+// threads replay its workload's streams 0..Threads-1 — the same
+// streams a solo run of that workload with the same thread count
+// replays, which is what makes solo-vs-co-located slowdowns
+// apples-to-apples.
+type Mix struct {
+	// Format must equal MixFormatVersion.
+	Format int `json:"format"`
+	// Name is the mix's registry name (same character set as workload
+	// names).
+	Name string `json:"name"`
+	// Tenants lists the thread groups in declaration order.
+	Tenants []TenantDef `json:"tenants"`
+}
+
+// TenantDef is one thread group of a mix.
+type TenantDef struct {
+	// Name labels the group in tables and Result.Tenants (defaults to
+	// the workload name).
+	Name string `json:"name,omitempty"`
+	// Workload names the workload the group's threads replay — any
+	// resolvable name: Table I, the extension scenarios, or a
+	// file-registered workload. Resolution happens at run time, so a
+	// mix may reference workloads registered after it.
+	Workload string `json:"workload"`
+	// Threads is the group's software thread count.
+	Threads int `json:"threads"`
+	// Intensity scales the group's per-thread instruction budget
+	// relative to an even split of the run's total (default 1): 0.5
+	// models a tenant issuing half the work per thread, 2 a double-rate
+	// tenant.
+	Intensity float64 `json:"intensity,omitempty"`
+}
+
+// intensity is the tenant's effective budget scale (0 → 1).
+func (t TenantDef) intensity() float64 {
+	if t.Intensity == 0 {
+		return 1
+	}
+	return t.Intensity
+}
+
+// normalized returns a copy with every defaulted field made explicit,
+// so two mixes that mean the same thing fingerprint identically.
+func (m Mix) normalized() Mix {
+	m.Tenants = append([]TenantDef(nil), m.Tenants...)
+	for i := range m.Tenants {
+		t := &m.Tenants[i]
+		if t.Name == "" {
+			t.Name = t.Workload
+		}
+		t.Intensity = t.intensity()
+	}
+	return m
+}
+
+// Validate checks the mix against the format's contract and returns
+// the first violation, phrased for a human editing a file. Workload
+// names are checked for well-formedness only — they resolve against
+// the live registry at run time.
+func (m Mix) Validate() error {
+	if m.Format != MixFormatVersion {
+		return fmt.Errorf("tenant: %q: format %d, this build reads format %d", m.Name, m.Format, MixFormatVersion)
+	}
+	if err := workloads.ValidateName(m.Name); err != nil {
+		return fmt.Errorf("tenant: mix %w", err)
+	}
+	if len(m.Tenants) == 0 {
+		return fmt.Errorf("tenant: %q: at least one tenant required", m.Name)
+	}
+	seen := map[string]bool{}
+	for i, t := range m.Tenants {
+		at := fmt.Sprintf("tenant: %q: tenant %d", m.Name, i)
+		if t.Workload == "" {
+			return fmt.Errorf("%s: missing a workload", at)
+		}
+		if err := workloads.ValidateName(t.Workload); err != nil {
+			return fmt.Errorf("%s: workload %w", at, err)
+		}
+		name := t.Name
+		if name == "" {
+			name = t.Workload
+		}
+		if err := workloads.ValidateName(name); err != nil {
+			return fmt.Errorf("%s: %w", at, err)
+		}
+		if seen[name] {
+			return fmt.Errorf("%s: duplicate tenant name %q (set distinct \"name\" fields when two tenants share a workload)", at, name)
+		}
+		seen[name] = true
+		if t.Threads <= 0 {
+			return fmt.Errorf("%s (%s): threads must be positive", at, name)
+		}
+		if t.Intensity < 0 {
+			return fmt.Errorf("%s (%s): negative intensity", at, t.Workload)
+		}
+	}
+	return nil
+}
+
+// TotalThreads returns the mix's combined software thread count.
+func (m Mix) TotalThreads() int {
+	n := 0
+	for _, t := range m.Tenants {
+		n += t.Threads
+	}
+	return n
+}
+
+// PerThreadInstr returns tenant i's per-thread instruction budget for
+// a run of totalInstr total instructions: the even per-thread split of
+// the total, scaled by the tenant's intensity. Pure integer-in,
+// integer-out arithmetic on deterministic float operations, so every
+// process computes identical budgets.
+func (m Mix) PerThreadInstr(i int, totalInstr uint64) uint64 {
+	total := m.TotalThreads()
+	if total == 0 {
+		return 0
+	}
+	return uint64(m.Tenants[i].intensity() * float64(totalInstr) / float64(total))
+}
+
+// Fingerprint returns the mix's stable content identity: a hex digest
+// of its normalized canonical JSON, prefixed with the format version.
+// It covers the mix *shape* only; SourceID additionally folds the
+// member workloads' source identities.
+func (m Mix) Fingerprint() string {
+	b, err := json.Marshal(m.normalized())
+	if err != nil {
+		panic(fmt.Sprintf("tenant: mix not fingerprintable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("fmt%d:%s", MixFormatVersion, hex.EncodeToString(sum[:]))
+}
+
+// SourceID returns the full source identity of a mix run: the mix's
+// own fingerprint plus each member workload's SourceID. It is the
+// mix-side analogue of workloads.Spec.SourceID — the runner folds it
+// into the spec key, so editing the mix file, changing a member
+// definition, re-recording a member trace, or bumping a generator or
+// codec version re-keys exactly the affected store entries. An
+// unresolvable member contributes an "unresolved" marker (the run
+// itself will error before simulating).
+func (m Mix) SourceID() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mix:%s", m.Fingerprint())
+	for _, t := range m.Tenants {
+		src := "unresolved"
+		if w, err := workloads.ByName(t.Workload); err == nil {
+			src = w.SourceID()
+		}
+		fmt.Fprintf(&b, "|%s=%s", t.Workload, src)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return "mix:" + hex.EncodeToString(sum[:])
+}
+
+// Apply resolves the mix against the workload registry and populates
+// sys: tenants are declared in order, and each tenant's threads replay
+// its workload's streams 0..Threads-1 (tenant-local indices, matching
+// a solo run) at the tenant's PerThreadInstr budget.
+//
+// Each tenant occupies a disjoint arena: tenant i's streams shift by
+// the cumulative footprint of the tenants before it, so co-located
+// groups contend for the link, the SSD DRAM, the write log, the flash
+// dies, and the scheduler — the interference under study — but never
+// alias each other's data. The combined footprint must fit the
+// device's logical space.
+func (m Mix) Apply(sys *system.System, totalInstr, seed uint64) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	n := m.normalized()
+	infos := make([]system.TenantInfo, len(n.Tenants))
+	specs := make([]workloads.Spec, len(n.Tenants))
+	var totalPages uint64
+	for i, t := range n.Tenants {
+		w, err := workloads.ByName(t.Workload)
+		if err != nil {
+			return fmt.Errorf("tenant: %q: %w", n.Name, err)
+		}
+		specs[i] = w
+		infos[i] = system.TenantInfo{Name: t.Name, Workload: t.Workload, Threads: t.Threads}
+		totalPages += w.FootprintPages
+	}
+	if logical := sys.FTL().LogicalPages(); totalPages > logical {
+		return fmt.Errorf("tenant: %q: combined footprint %d pages exceeds the device's %d logical pages (shrink the mix or grow the machine)",
+			n.Name, totalPages, logical)
+	}
+	sys.DeclareTenants(infos)
+	var base uint64 // cumulative arena offset, in pages
+	for i, t := range n.Tenants {
+		per := n.PerThreadInstr(i, totalInstr)
+		delta := mem.Addr(base) * mem.PageBytes
+		for k := 0; k < t.Threads; k++ {
+			sys.AddThreadFor(i, &trace.Offset{Src: specs[i].Stream(k, seed), Delta: delta}, per)
+		}
+		base += specs[i].FootprintPages
+	}
+	return nil
+}
+
+// --- registry ---
+
+// registry holds every mix beyond the built-ins, in registration
+// order, mirroring the workload registry's contract: register before
+// building runners or harnesses; re-registering a name replaces it
+// (the file-editing loop); built-in names are reserved.
+var registry = struct {
+	sync.Mutex
+	mixes []Mix
+	index map[string]int
+}{index: map[string]int{}}
+
+// builtinMixes caches the code-defined mixes.
+var builtinMixes = sync.OnceValue(func() []Mix {
+	return []Mix{graphVsLog(), scanVsPoint()}
+})
+
+// Builtins returns the code-defined mixes: interference pairings of
+// the extension scenarios and Table I workloads, used by the figmix
+// fairness table. The returned slice is shared — do not mutate.
+func Builtins() []Mix {
+	return builtinMixes()
+}
+
+// graphVsLog co-locates the latency-bound Graph500-style pointer chase
+// (the coordinated context switch's best case) with the bursty
+// log-append writer (the write log's adversarial dense-write case):
+// who pays for whose context switches and log drains?
+func graphVsLog() Mix {
+	return Mix{
+		Format: MixFormatVersion,
+		Name:   "graph-vs-log",
+		Tenants: []TenantDef{
+			{Name: "graph", Workload: "graph500", Threads: 4},
+			{Name: "logger", Workload: "log-append", Threads: 4},
+		},
+	}
+}
+
+// scanVsPoint co-locates the bandwidth-bound sequential analytics scan
+// with ycsb-style zipfian point lookups — the classic
+// streaming-vs-latency-sensitive interference pairing.
+func scanVsPoint() Mix {
+	return Mix{
+		Format: MixFormatVersion,
+		Name:   "scan-vs-point",
+		Tenants: []TenantDef{
+			{Name: "scanner", Workload: "scan-heavy", Threads: 4},
+			{Name: "pointer", Workload: "ycsb", Threads: 4},
+		},
+	}
+}
+
+func builtinByName(name string) (Mix, bool) {
+	for _, m := range Builtins() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// Register adds a mix to the registry, making it resolvable by name
+// everywhere a built-in mix is — ByName, figmix's mix set, the CLIs'
+// -mix flags. The mix must validate; built-in names are reserved;
+// re-registering a registered name replaces it.
+func Register(m Mix) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if _, ok := builtinByName(m.Name); ok {
+		return fmt.Errorf("tenant: %q is a built-in mix and cannot be replaced", m.Name)
+	}
+	n := m.normalized()
+	registry.Lock()
+	defer registry.Unlock()
+	if i, ok := registry.index[n.Name]; ok {
+		registry.mixes[i] = n
+		return nil
+	}
+	registry.index[n.Name] = len(registry.mixes)
+	registry.mixes = append(registry.mixes, n)
+	return nil
+}
+
+// Registered returns the registered (non-built-in) mixes in
+// registration order.
+func Registered() []Mix {
+	registry.Lock()
+	defer registry.Unlock()
+	return append([]Mix(nil), registry.mixes...)
+}
+
+// resetRegistry clears registrations (tests only).
+func resetRegistry() {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.mixes = nil
+	registry.index = map[string]int{}
+}
+
+// Names returns every resolvable mix name: built-ins first, then
+// registered mixes in registration order.
+func Names() []string {
+	var out []string
+	for _, m := range Builtins() {
+		out = append(out, m.Name)
+	}
+	for _, m := range Registered() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// ByName resolves any known mix — built-in or registered. Unknown
+// names error with the full valid list.
+func ByName(name string) (Mix, error) {
+	if m, ok := builtinByName(name); ok {
+		return m, nil
+	}
+	registry.Lock()
+	i, ok := registry.index[name]
+	var m Mix
+	if ok {
+		m = registry.mixes[i]
+	}
+	registry.Unlock()
+	if ok {
+		return m, nil
+	}
+	return Mix{}, fmt.Errorf("tenant: unknown mix %q (valid: %s)", name, strings.Join(Names(), ", "))
+}
+
+// FromFile loads a mix from a versioned JSON file (WORKLOADS.md
+// documents the schema). Unknown fields are rejected so a typo fails
+// loudly instead of silently meaning "default". The returned Mix is
+// validated but not registered; RegisterFile also makes it resolvable
+// by name.
+func FromFile(path string) (Mix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Mix{}, fmt.Errorf("tenant: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Mix
+	if err := dec.Decode(&m); err != nil {
+		return Mix{}, fmt.Errorf("tenant: %s: not a valid mix definition: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Mix{}, fmt.Errorf("tenant: %s: %w", path, err)
+	}
+	return m.normalized(), nil
+}
+
+// RegisterFile loads a mix from path (FromFile) and registers it, so
+// campaigns and CLIs can select it by name like a built-in.
+func RegisterFile(path string) (Mix, error) {
+	m, err := FromFile(path)
+	if err != nil {
+		return Mix{}, err
+	}
+	if err := Register(m); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
+
+// RegistryFingerprint digests the full resolvable mix set — every name
+// mapped to its SourceID, sorted. Campaign-level external cache keys
+// (skybyte.CampaignFingerprint) fold it in next to the workload
+// registry fingerprint, so a CI cache key rotates when any mix — or
+// any workload a mix references — changes.
+func RegistryFingerprint() string {
+	var lines []string
+	for _, m := range Builtins() {
+		lines = append(lines, m.Name+"="+m.SourceID())
+	}
+	for _, m := range Registered() {
+		lines = append(lines, m.Name+"="+m.SourceID())
+	}
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte("skybyte-mixes|" + strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:])
+}

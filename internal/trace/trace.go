@@ -64,6 +64,24 @@ type Stream interface {
 	Next() (rec Record, ok bool)
 }
 
+// Offset shifts every memory record of a stream by a fixed byte delta,
+// leaving compute records untouched. Multi-tenant runs use it to give
+// each tenant group a disjoint arena within the CXL window while each
+// tenant replays exactly the streams its solo run replays.
+type Offset struct {
+	Src   Stream
+	Delta mem.Addr
+}
+
+// Next implements Stream.
+func (o *Offset) Next() (Record, bool) {
+	rec, ok := o.Src.Next()
+	if ok && rec.Kind != Compute {
+		rec.Addr += o.Delta
+	}
+	return rec, ok
+}
+
 // Limited truncates a stream after a total instruction budget. The final
 // compute record is clipped so the budget is hit exactly.
 type Limited struct {

@@ -35,6 +35,35 @@ func TestSliceStream(t *testing.T) {
 	}
 }
 
+func TestOffsetShiftsMemoryRecordsOnly(t *testing.T) {
+	src := &SliceStream{Recs: []Record{
+		{Kind: Load, Addr: mem.CXLBase},
+		{Kind: Compute, N: 5},
+		{Kind: Store, Addr: mem.CXLBase + 64},
+		{Kind: LoadDep, Addr: mem.CXLBase + 128},
+	}}
+	o := &Offset{Src: src, Delta: 2 * mem.PageBytes}
+	want := []mem.Addr{mem.CXLBase + 2*mem.PageBytes, 0, mem.CXLBase + 2*mem.PageBytes + 64, mem.CXLBase + 2*mem.PageBytes + 128}
+	for i := 0; ; i++ {
+		r, ok := o.Next()
+		if !ok {
+			if i != 4 {
+				t.Fatalf("stream ended after %d records", i)
+			}
+			break
+		}
+		if r.Kind == Compute {
+			if r.N != 5 {
+				t.Fatal("compute record mutated")
+			}
+			continue
+		}
+		if r.Addr != want[i] {
+			t.Fatalf("record %d addr = %#x, want %#x", i, uint64(r.Addr), uint64(want[i]))
+		}
+	}
+}
+
 func TestLimitedClipsExactly(t *testing.T) {
 	src := FuncStream(func() (Record, bool) { return Record{Kind: Compute, N: 10}, true })
 	l := &Limited{Src: src, Budget: 25}

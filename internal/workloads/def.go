@@ -259,6 +259,10 @@ func (d Def) Validate() error {
 	return nil
 }
 
+// ValidateName checks a registry name (workloads and tenant mixes
+// share the character set): letters, digits, '-', '_', '.', ':'.
+func ValidateName(name string) error { return validateName(name) }
+
 func validateName(name string) error {
 	if name == "" {
 		return fmt.Errorf("workloads: definition missing a name")

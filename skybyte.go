@@ -32,12 +32,16 @@ package skybyte
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
 	"skybyte/internal/experiments"
+	"skybyte/internal/stats"
 	"skybyte/internal/store"
 	"skybyte/internal/system"
+	"skybyte/internal/tenant"
 	"skybyte/internal/trace"
 	"skybyte/internal/workloads"
 )
@@ -135,6 +139,58 @@ func Run(cfg Config, w Workload, threads int, instrPerThread uint64, seed uint64
 	return sys.Run()
 }
 
+// Mix assigns different workloads to named thread groups — the
+// multi-tenant run specification (WORKLOADS.md documents the JSON
+// schema). Obtain one from MixByName, MixFromFile, or a literal.
+type Mix = tenant.Mix
+
+// MixTenant is one thread group of a Mix.
+type MixTenant = tenant.TenantDef
+
+// TenantResult is one tenant group's share of a mixed run's Result
+// (Result.Tenants): per-group execution time, boundedness, request
+// breakdown, AMAT, context-switch and write-log accounting.
+type TenantResult = system.TenantResult
+
+// JainIndex returns Jain's fairness index over xs — (Σx)²/(n·Σx²),
+// 1 when every tenant fares equally, 1/n when one tenant receives
+// everything (zero shares count toward n). Apply it to per-tenant
+// slowdowns or normalized throughputs of a mixed run.
+func JainIndex(xs []float64) float64 { return stats.JainIndex(xs) }
+
+// MaxMinRatio returns max/min over the positive values of xs — the
+// worst-to-best disparity between co-located tenants (1 = even).
+func MaxMinRatio(xs []float64) float64 { return stats.MaxMinRatio(xs) }
+
+// MixByName resolves any known mix: the built-in interference
+// pairings (graph-vs-log, scan-vs-point) and anything registered via
+// MixFromFile. Unknown names error with the full valid list.
+func MixByName(name string) (Mix, error) { return tenant.ByName(name) }
+
+// MixNames lists every resolvable mix name, built-ins first.
+func MixNames() []string { return tenant.Names() }
+
+// MixFromFile loads a multi-tenant mix from a versioned JSON file and
+// registers it, so it resolves by name everywhere a built-in mix does:
+// MixByName, ExperimentOptions.Mixes (the figmix fairness table), and
+// the CLIs' -mix flags. Register before building harnesses so plans
+// resolve it.
+func MixFromFile(path string) (Mix, error) { return tenant.RegisterFile(path) }
+
+// RunMix executes one multi-tenant simulation: every tenant group of m
+// runs its own workload on its declared thread range, co-located on
+// one machine, with totalInstr total instructions split across threads
+// per the mix's intensities. The Result's Tenants slice attributes the
+// measurements per group; Result.Tenants sums to the whole-system
+// totals exactly.
+func RunMix(cfg Config, m Mix, totalInstr uint64, seed uint64) (*Result, error) {
+	sys := system.New(cfg)
+	if err := m.Apply(sys, totalInstr, seed); err != nil {
+		return nil, err
+	}
+	return sys.Run(), nil
+}
+
 // ExperimentOptions scope an experiment campaign: Parallelism
 // (simulations in flight at once; 0 = GOMAXPROCS), an optional
 // Progress callback, and the persistence/sharding knobs — CacheDir
@@ -190,15 +246,23 @@ func RunAllFromCache(opt ExperimentOptions) ([]ExperimentTable, error) {
 	return NewExperiments(opt).AllErr(context.Background())
 }
 
-// CampaignFingerprint returns the persistent store identity of a
+// CampaignFingerprint returns the external cache identity of a
 // campaign: the result codec version plus a digest of the resolved
-// base configuration and workload seed. Stores only serve results to
-// campaigns with an identical fingerprint, and a codec bump invalidates
-// every stored entry, so the string is a sufficient external cache key
-// (e.g. for CI's actions/cache): when it matches, the store is warm;
-// when any invalidating input changes, so does the key.
+// base configuration, the workload seed, and the full workload and
+// mix registries. It is deliberately *coarser* than the store's own
+// invalidation — the store re-keys per design point via source-folded
+// spec keys (DESIGN.md §2.1), so an edited workload only re-simulates
+// the entries that use it — but an external cache (e.g. CI's
+// actions/cache) snapshots whole directories, and its key should
+// rotate whenever any input changed so the refreshed store is
+// re-uploaded. Pair it with a prefix restore key to keep the
+// still-warm entries of the previous snapshot.
 func CampaignFingerprint(opt ExperimentOptions) string {
 	opt.CacheDir, opt.FromCache = "", false // no store side effects
 	h := NewExperiments(opt)
-	return fmt.Sprintf("v%d-%s", system.ResultCodecVersion, store.Fingerprint(h.Opt.BaseConfig, h.Opt.Seed))
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s",
+		store.Fingerprint(h.Opt.BaseConfig, h.Opt.Seed),
+		workloads.RegistryFingerprint(),
+		tenant.RegistryFingerprint())))
+	return fmt.Sprintf("v%d-%s", system.ResultCodecVersion, hex.EncodeToString(sum[:]))
 }

@@ -251,6 +251,132 @@ func TestFileWorkloadCampaignEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunMixPublicAPI drives the multi-tenant surface end to end: a
+// built-in mix resolves by name, a file mix registers and runs, and a
+// mixed run attributes results per tenant.
+func TestRunMixPublicAPI(t *testing.T) {
+	if len(skybyte.MixNames()) < 2 {
+		t.Fatalf("MixNames() = %v, want the built-in pairings", skybyte.MixNames())
+	}
+	m, err := skybyte.MixByName("graph-vs-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := skybyte.MixByName("nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+	res, err := skybyte.RunMix(cfg, m, 16_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("tenants = %d, want 2", len(res.Tenants))
+	}
+	for _, tr := range res.Tenants {
+		if tr.Instructions == 0 || tr.ExecTime == 0 {
+			t.Fatalf("tenant %q made no progress", tr.Name)
+		}
+	}
+
+	mixDef := `{
+  "format": 1,
+  "name": "api-file-mix",
+  "tenants": [
+    {"workload": "bc", "threads": 2},
+    {"workload": "ycsb", "threads": 2}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "mix.json")
+	if err := os.WriteFile(path, []byte(mixDef), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := skybyte.MixFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Name != "api-file-mix" {
+		t.Fatalf("loaded mix named %q", fm.Name)
+	}
+	if _, err := skybyte.MixByName("api-file-mix"); err != nil {
+		t.Fatal("file mix not resolvable by name after MixFromFile")
+	}
+}
+
+// TestTenantStatsSumToSystemTotals is the per-tenant accounting
+// contract: every split measurement — instructions, boundedness,
+// request classes, read-latency samples, context switches, hints, LLC
+// misses, log lines — sums exactly to the whole-system totals, on the
+// fullest design point (context switches + write log + migration all
+// active).
+func TestTenantStatsSumToSystemTotals(t *testing.T) {
+	m, err := skybyte.MixByName("graph-vs-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []skybyte.Variant{skybyte.BaseCSSD, skybyte.SkyByteFull} {
+		cfg := skybyte.ScaledConfig().WithVariant(v)
+		res, err := skybyte.RunMix(cfg, m, 128_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			instr, ctx, hintSw, hints, llc, readN, logLines, stalls uint64
+			bound                                                   = res.Bound
+			breakdown                                               = res.Breakdown
+		)
+		for _, tr := range res.Tenants {
+			instr += tr.Instructions
+			ctx += tr.CtxSwitches
+			hintSw += tr.HintSwitches
+			hints += tr.HintsSent
+			llc += tr.LLCMisses
+			readN += tr.ReadLat.Count()
+			logLines += tr.Log.LinesAbsorbed
+			stalls += tr.Log.StalledWrites
+			bound.Compute -= tr.Bound.Compute
+			bound.MemStall -= tr.Bound.MemStall
+			bound.CtxSwitch -= tr.Bound.CtxSwitch
+			for c, n := range tr.Breakdown.Counts {
+				breakdown.Counts[c] -= n
+			}
+		}
+		if instr != res.Instructions {
+			t.Errorf("%s: tenant instructions sum %d != system %d", v, instr, res.Instructions)
+		}
+		if ctx != res.CtxSwitches {
+			t.Errorf("%s: tenant ctx switches sum %d != system %d", v, ctx, res.CtxSwitches)
+		}
+		if hintSw != res.HintSwitches {
+			t.Errorf("%s: tenant hint switches sum %d != system %d", v, hintSw, res.HintSwitches)
+		}
+		if hints != res.HintsSent {
+			t.Errorf("%s: tenant hints sum %d != system %d", v, hints, res.HintsSent)
+		}
+		if llc != res.LLCMisses {
+			t.Errorf("%s: tenant LLC misses sum %d != system %d", v, llc, res.LLCMisses)
+		}
+		if readN != res.ReadLat.Count() {
+			t.Errorf("%s: tenant read samples sum %d != system %d", v, readN, res.ReadLat.Count())
+		}
+		if logLines != res.Traffic.LinesAbsorbed {
+			t.Errorf("%s: tenant log lines sum %d != system %d", v, logLines, res.Traffic.LinesAbsorbed)
+		}
+		if bound.Compute != 0 || bound.MemStall != 0 || bound.CtxSwitch != 0 {
+			t.Errorf("%s: tenant boundedness does not sum to system totals (residual %+v)", v, bound)
+		}
+		for c, n := range breakdown.Counts {
+			if n != 0 {
+				t.Errorf("%s: request class %d residual %d after tenant subtraction", v, c, n)
+			}
+		}
+		if v == skybyte.SkyByteFull && (res.CtxSwitches == 0 || res.Traffic.LinesAbsorbed == 0) {
+			t.Errorf("%s: test exercised no switches/log activity (ctx=%d lines=%d)", v, res.CtxSwitches, res.Traffic.LinesAbsorbed)
+		}
+		_ = stalls // backpressure may legitimately be zero at this budget
+	}
+}
+
 // TestTraceRecordReplayBitForBit is the record/replay acceptance: a
 // stream recorded at a simulation's exact instruction budget, replayed
 // through the trace workload kind, reproduces the original run's
