@@ -12,6 +12,7 @@ package skybyte_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"skybyte"
 	"skybyte/internal/experiments"
 	"skybyte/internal/system"
+	"skybyte/internal/trace"
 )
 
 var (
@@ -267,5 +269,88 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 			b.Fatalf("warm campaign ran %d simulations, want 0", sims.Load())
 		}
 		b.ReportMetric(float64(recalls.Load())/b.Elapsed().Seconds(), "runs/s")
+	})
+}
+
+// BenchmarkTraceStreamingReplay measures the v2 trace container on a
+// sizeable recording: decode=cold materializes the whole file the way
+// v1 replay had to; decode=streamed replays through the block reader
+// with O(block) memory. Reported alongside: the v2/v1 size ratio of
+// the same records (the compression report the container exists for —
+// WORKLOADS.md tabulates the per-workload ratios).
+func BenchmarkTraceStreamingReplay(b *testing.B) {
+	w, err := skybyte.WorkloadByName("ycsb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := &trace.Trace{Meta: trace.Meta{
+		Workload: w.Name, Seed: 1, FootprintPages: w.FootprintPages, WriteRatio: w.WriteRatio,
+	}}
+	const threads, perThread = 4, 250_000
+	for t := 0; t < threads; t++ {
+		tr.Threads = append(tr.Threads, trace.RecordStream(w.Stream(t, 1), perThread))
+	}
+	v1, err := trace.EncodeTraceVersion(tr, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2, err := trace.EncodeTraceVersion(tr, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.trc")
+	if err := os.WriteFile(path, v2, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	total := float64(tr.Records())
+	ratio := float64(len(v2)) / float64(len(v1))
+
+	drainAll := func(src trace.Source) uint64 {
+		var n uint64
+		for t := 0; t < threads; t++ {
+			st := src.Stream(t)
+			for {
+				if _, ok := st.Next(); !ok {
+					break
+				}
+				n++
+			}
+		}
+		return n
+	}
+
+	b.Run("decode=cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec, err := trace.DecodeTrace(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if drainAll(dec) != uint64(total) {
+				b.Fatal("short replay")
+			}
+		}
+		b.ReportMetric(total*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(100*ratio, "v2size%")
+	})
+
+	b.Run("decode=streamed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := trace.OpenFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if drainAll(r) != uint64(total) {
+				b.Fatal("short replay")
+			}
+			r.Close()
+		}
+		b.ReportMetric(total*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(100*ratio, "v2size%")
 	})
 }

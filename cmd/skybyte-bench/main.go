@@ -53,6 +53,11 @@ func main() {
 		wfiles = append(wfiles, path)
 		return nil
 	})
+	var imports []string
+	flag.Func("import", "convert and register an external trace, <format>:<path> (champsim, damon, cachegrind; repeatable); it joins the campaign like a -workload-file", func(spec string) error {
+		imports = append(imports, spec)
+		return nil
+	})
 	var mixFiles []string
 	flag.Func("mix-file", "load and register a multi-tenant mix file (JSON; repeatable); it joins the figmix mix set unless -mix selects a subset", func(path string) error {
 		mixFiles = append(mixFiles, path)
@@ -99,6 +104,19 @@ func main() {
 			os.Exit(2)
 		}
 		seenFile[w.Name] = path
+		fileNames = append(fileNames, w.Name)
+	}
+	for _, spec := range imports {
+		w, err := skybyte.ImportTrace(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if prev, ok := seenFile[w.Name]; ok {
+			fmt.Fprintf(os.Stderr, "workload inputs %s and %s both define %q; imports from the same source file collide\n", prev, spec, w.Name)
+			os.Exit(2)
+		}
+		seenFile[w.Name] = spec
 		fileNames = append(fileNames, w.Name)
 	}
 	seenMix := map[string]string{}

@@ -48,6 +48,7 @@ func main() {
 	var (
 		workload  = flag.String("workload", "ycsb", "workload name; any of skybyte.WorkloadNames() — Table I, the extension scenarios, or a file-registered workload")
 		wfile     = flag.String("workload-file", "", "load the workload from a file (declarative JSON definition or recorded trace; see WORKLOADS.md) and run it")
+		impSpec   = flag.String("import", "", "convert and run an external trace, <format>:<path> (formats: champsim, damon, cachegrind; see WORKLOADS.md)")
 		mixName   = flag.String("mix", "", "run a multi-tenant mix instead of -workload: each tenant group replays its own workload (any of skybyte.MixNames()); prints per-tenant accounting")
 		mixFile   = flag.String("mix-file", "", "load a multi-tenant mix from a JSON file (see WORKLOADS.md) and run it")
 		variant   = flag.String("variant", "SkyByte-Full", "design variant (Base-CSSD, SkyByte-{C,P,W,CP,WP,Full,CT,WCT}, AstriFlash-CXL, DRAM-Only)")
@@ -79,6 +80,13 @@ func main() {
 	// this run.
 	if *wfile != "" {
 		loaded, err := skybyte.WorkloadFromFile(*wfile)
+		if err != nil {
+			fail(err)
+		}
+		*workload = loaded.Name
+	}
+	if *impSpec != "" {
+		loaded, err := skybyte.ImportTrace(*impSpec)
 		if err != nil {
 			fail(err)
 		}

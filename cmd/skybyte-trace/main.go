@@ -1,7 +1,9 @@
 // skybyte-trace inspects the workload generators that stand in for the
 // paper's PIN traces: it prints a sample of records, summarises the
-// stream's characteristics against Table I, and records streams to the
-// versioned on-disk trace format for later replay (WORKLOADS.md).
+// stream's characteristics against Table I, records streams to the
+// versioned on-disk trace format for later replay, and imports
+// externally produced traces — ChampSim, DAMON, cachegrind — into the
+// same format (WORKLOADS.md).
 //
 // Example:
 //
@@ -20,6 +22,24 @@
 //
 //	skybyte-trace -workload ycsb -nthreads 24 -record-instr 16000 -record ycsb.trc
 //	skybyte-sim -workload-file ycsb.trc -variant SkyByte-Full -threads 24 -instr 16000
+//
+// Files are written in the block-compressed v2 container by default;
+// -trace-version 1 emits the flat legacy layout (both replay
+// identically; v2 streams with bounded memory and is roughly a third
+// of the size).
+//
+// Import: -import <format>:<path> converts an external trace and
+// either records it (-record) or analyses it like any workload. The
+// converted file carries provenance meta (source name, sha256,
+// converter revision) and loads as workload "trace:<format>:<source>":
+//
+//	skybyte-trace -import champsim:600.perlbench.bin -record perlbench.trc
+//	skybyte-sim -workload-file perlbench.trc -variant SkyByte-Full
+//	skybyte-trace -import damon:damon-raw.txt          # analyse without recording
+//
+// -make-fixture <format>:<path> writes a tiny synthetic source file in
+// an external format (the importer test/CI fixture generator, handy
+// for trying the pipeline without a real trace).
 package main
 
 import (
@@ -27,6 +47,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -34,6 +55,7 @@ import (
 	"skybyte/internal/mem"
 	"skybyte/internal/stats"
 	"skybyte/internal/trace"
+	"skybyte/internal/traceimport"
 )
 
 // summary is one thread stream's measured characteristics.
@@ -100,8 +122,46 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		record   = flag.String("record", "", "record the streams to this trace file instead of analysing")
 		recInstr = flag.Uint64("record-instr", 0, "with -record: cut each stream at this instruction budget (matching a simulation's -instr) instead of at -n records")
+		recVer   = flag.Int("trace-version", trace.CodecVersion, "with -record: trace codec version to emit (1 = flat legacy, 2 = block-compressed streaming)")
+		impSpec  = flag.String("import", "", "convert an external trace, <format>:<path> (formats: champsim, damon, cachegrind); records it with -record, analyses it otherwise")
+		fixture  = flag.String("make-fixture", "", "write a tiny synthetic external-format source file, <format>:<path>, then exit (importer demo/CI fixture)")
 	)
 	flag.Parse()
+
+	if *fixture != "" {
+		format, path, err := traceimport.ParseSpec(*fixture)
+		if err == nil {
+			err = traceimport.WriteFixture(format, path)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote synthetic %s fixture to %s\n", format, path)
+		fmt.Printf("import with: skybyte-trace -import %s:%s -record %s.trc\n", format, path, path)
+		return
+	}
+
+	if *impSpec != "" && *record != "" {
+		// Convert an external trace straight to a .trc: the records
+		// pass through verbatim (no cut), with provenance meta sealed
+		// into the file. Cut flags would be silently meaningless here,
+		// so refuse them — record the full conversion, then re-record
+		// the .trc with -workload-file and the desired cut.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, f := range []string{"n", "record-instr", "nthreads", "seed", "thread"} {
+			if explicit[f] {
+				fmt.Fprintf(os.Stderr, "-import -record writes the full conversion verbatim; -%s does not apply (record first, then re-record the .trc with -workload-file and your cut)\n", f)
+				os.Exit(2)
+			}
+		}
+		if err := recordImport(*impSpec, *record, *recVer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *mixFile != "" || *mixName != "" {
 		var m skybyte.Mix
@@ -125,9 +185,14 @@ func main() {
 
 	var w skybyte.Workload
 	var err error
-	if *wfile != "" {
+	switch {
+	case *impSpec != "":
+		// Analyse an import without recording it: the converted trace
+		// registers as a workload and flows through the same summary.
+		w, err = skybyte.ImportTrace(*impSpec)
+	case *wfile != "":
 		w, err = skybyte.WorkloadFromFile(*wfile)
-	} else {
+	default:
 		w, err = skybyte.WorkloadByName(*workload)
 	}
 	if err != nil {
@@ -140,7 +205,7 @@ func main() {
 		// re-recording: defaults mean "reproduce the source exactly".
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		if err := recordTrace(w, *record, *nthreads, *n, *recInstr, *seed, explicit); err != nil {
+		if err := recordTrace(w, *record, *nthreads, *n, *recInstr, *seed, *recVer, explicit); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -306,11 +371,12 @@ func analyzeMix(m skybyte.Mix, n int, seed uint64, parallel int) {
 // instructions per thread (the same trace.Limited clipping a
 // simulation applies, so replaying the file at the same budget
 // reproduces the run's Result bit for bit). Re-recording a trace-backed
-// workload preserves the source metadata, and with -nthreads, -n, and
-// -record-instr left at their defaults the source's thread count and
-// cuts are inherited too, so a plain re-record reproduces the source
-// file bit for bit.
-func recordTrace(w skybyte.Workload, path string, nthreads, maxRecords int, instrBudget, seed uint64, explicit map[string]bool) error {
+// workload preserves the source metadata (including import
+// provenance), and with -nthreads, -n, -record-instr, and
+// -trace-version left at their defaults the source's thread count,
+// cuts, and codec version are inherited too, so a plain re-record
+// reproduces the source file bit for bit.
+func recordTrace(w skybyte.Workload, path string, nthreads, maxRecords int, instrBudget, seed uint64, version int, explicit map[string]bool) error {
 	tr := &trace.Trace{Meta: trace.Meta{
 		Workload:       w.Name,
 		Seed:           seed,
@@ -319,9 +385,10 @@ func recordTrace(w skybyte.Workload, path string, nthreads, maxRecords int, inst
 		InstrPerThread: instrBudget,
 	}}
 	if w.Trace != nil {
-		src := w.Trace.Data.Meta
+		src := w.Trace.Data.TraceMeta()
 		tr.Meta.Workload = src.Workload
 		tr.Meta.Seed = src.Seed
+		tr.Meta.Origin = src.Origin
 		if !explicit["record-instr"] && !explicit["n"] {
 			// No new cut at all: the source records pass through
 			// verbatim (never truncate), so the source's recorded
@@ -331,7 +398,10 @@ func recordTrace(w skybyte.Workload, path string, nthreads, maxRecords int, inst
 			maxRecords = math.MaxInt
 		}
 		if !explicit["nthreads"] {
-			nthreads = len(w.Trace.Data.Threads)
+			nthreads = w.Trace.Data.NumThreads()
+		}
+		if !explicit["trace-version"] && w.Trace.Data.FileVersion() != 0 {
+			version = w.Trace.Data.FileVersion()
 		}
 	}
 	for t := 0; t < nthreads; t++ {
@@ -343,15 +413,72 @@ func recordTrace(w skybyte.Workload, path string, nthreads, maxRecords int, inst
 		}
 		tr.Threads = append(tr.Threads, trace.RecordStream(st, limit))
 	}
-	data, err := trace.EncodeTrace(tr)
+	data, err := trace.EncodeTraceVersion(tr, version)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeFileAtomic(path, data); err != nil {
 		return err
 	}
 	fmt.Printf("recorded %s: %d threads, %d records, %d bytes (%s)\n",
 		path, len(tr.Threads), tr.Records(), len(data), trace.TraceDigest(data))
 	fmt.Printf("replay with: skybyte-sim -workload-file %s\n", path)
+	return nil
+}
+
+// recordImport converts an external trace (-import <format>:<path>)
+// and writes the result as a .trc, provenance meta included.
+func recordImport(spec, out string, version int) error {
+	format, src, err := traceimport.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	tr, err := traceimport.Import(format, src)
+	if err != nil {
+		return err
+	}
+	data, err := trace.EncodeTraceVersion(tr, version)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(out, data); err != nil {
+		return err
+	}
+	o := tr.Meta.Origin
+	fmt.Printf("imported %s %s: %d threads, %d records, %d pages touched\n",
+		format, src, len(tr.Threads), tr.Records(), tr.Meta.FootprintPages)
+	fmt.Printf("recorded %s: %d bytes (%s; source sha256 %s)\n",
+		out, len(data), trace.TraceDigest(data), o.SourceDigest[:16])
+	fmt.Printf("replay with: skybyte-sim -workload-file %s\n", out)
+	return nil
+}
+
+// writeFileAtomic writes data via a temp file and rename in the target
+// directory — the internal/store convention — so a failed or
+// interrupted record never leaves a stale partial .trc behind (a
+// partial file would fail its checksum, but the loud failure belongs
+// at record time, not at the next replay).
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "record-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	merr := tmp.Chmod(0o644)
+	cerr := tmp.Close()
+	if werr == nil && merr == nil && cerr == nil {
+		if err := os.Rename(tmp.Name(), path); err == nil {
+			return nil
+		} else {
+			werr = err
+		}
+	}
+	os.Remove(tmp.Name())
+	for _, e := range []error{werr, merr, cerr} {
+		if e != nil {
+			return fmt.Errorf("recording %s: %w", path, e)
+		}
+	}
 	return nil
 }

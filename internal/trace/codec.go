@@ -11,17 +11,49 @@ import (
 	"skybyte/internal/mem"
 )
 
-// CodecVersion names the on-disk trace layout. Bump it whenever the
-// record encoding or the envelope changes shape or meaning: a version
-// mismatch is a decode error (never a silent reinterpretation), and
-// the workload registry folds the version into every trace-backed
-// workload's source identity, so a bump also invalidates persistent
-// result-store entries produced from traces under the old layout.
-const CodecVersion = 1
+// CodecVersion names the newest on-disk trace layout this build writes
+// by default. Bump it whenever the record encoding or the envelope
+// changes shape or meaning: a version beyond it is a decode error
+// (never a silent reinterpretation), and the workload registry folds
+// the version into every trace-backed workload's source identity, so a
+// bump also invalidates persistent result-store entries produced from
+// traces under the old layout.
+//
+// Two layouts exist (WORKLOADS.md documents both):
+//
+//	v1 — flat: every thread's records stored back to back, fully
+//	     materialized on decode. Still written via
+//	     EncodeTraceVersion(t, 1) and always readable.
+//	v2 — block-compressed: records chunked into per-thread blocks,
+//	     each deflate-compressed and crc-sealed, so the streaming
+//	     Reader replays with O(block) memory.
+const CodecVersion = 2
 
 // traceMagic opens every trace file. Eight bytes so a truncated or
 // foreign file is rejected before any length field is trusted.
 var traceMagic = [8]byte{'S', 'K', 'Y', 'B', 'T', 'R', 'C', 0}
+
+// Origin records the provenance of an imported trace: the external
+// format it was converted from and the identity of the source file.
+// The converter (internal/traceimport) fills it; re-recording a replay
+// carries it forward, so provenance survives round trips. Because the
+// origin rides in the meta JSON, it is covered by the file digest —
+// importing a different source file yields a different trace identity
+// even if the converted records happened to coincide.
+type Origin struct {
+	// Format is the external format name ("champsim", "damon",
+	// "cachegrind").
+	Format string `json:"format"`
+	// Source is the base name of the converted file, for humans.
+	Source string `json:"source,omitempty"`
+	// SourceDigest is the sha256 hex of the source file's bytes: the
+	// machine-checkable identity the spec key folds (DESIGN.md §2.1).
+	SourceDigest string `json:"source_digest,omitempty"`
+	// Converter names the importer revision that produced the records
+	// (e.g. "traceimport/v1"), so a converter behaviour change is
+	// visible in the meta and in every digest derived from it.
+	Converter string `json:"converter,omitempty"`
+}
 
 // Meta describes a recorded trace: where it came from and how it was
 // cut. It rides in the file as canonical JSON and is covered by the
@@ -41,20 +73,58 @@ type Meta struct {
 	// InstrPerThread is the per-thread instruction budget the streams
 	// were cut at (0 when the cut was a record count instead).
 	InstrPerThread uint64 `json:"instr_per_thread,omitempty"`
+	// Origin, when set, is the external source the trace was imported
+	// from (absent for traces recorded from our own generators).
+	Origin *Origin `json:"origin,omitempty"`
+}
+
+// Source is a replayable multi-thread record source — the interface
+// trace-backed workloads hold. Two implementations: *Trace (records
+// materialized in memory, e.g. fresh from an importer) and *Reader
+// (records streamed block by block from a file, so replay memory stays
+// bounded). Streams returned by one Source must be independent:
+// concurrent replays of distinct threads are safe.
+type Source interface {
+	// TraceMeta returns the recorded metadata.
+	TraceMeta() Meta
+	// NumThreads returns the recorded thread-stream count (>= 1).
+	NumThreads() int
+	// NumRecords returns the total record count across all threads.
+	NumRecords() uint64
+	// FileVersion is the codec version of the backing file, or 0 for
+	// an in-memory trace that was never encoded.
+	FileVersion() int
+	// Stream replays thread's records (threads wrap modulo the
+	// recorded count, so a trace recorded with fewer threads than a
+	// run schedules still feeds every software thread).
+	Stream(thread int) Stream
 }
 
 // Trace is a decoded (or to-be-encoded) multi-thread record stream:
-// Threads[i] is the complete record sequence of thread i.
+// Threads[i] is the complete record sequence of thread i. It is the
+// materialized Source; large on-disk traces should be opened as a
+// streaming *Reader instead.
 type Trace struct {
 	Meta    Meta
 	Threads [][]Record
 }
 
+// TraceMeta implements Source.
+func (t *Trace) TraceMeta() Meta { return t.Meta }
+
+// NumThreads implements Source.
+func (t *Trace) NumThreads() int { return len(t.Threads) }
+
+// NumRecords implements Source.
+func (t *Trace) NumRecords() uint64 { return uint64(t.Records()) }
+
+// FileVersion implements Source: an in-memory trace has no backing
+// file, so it reports 0.
+func (t *Trace) FileVersion() int { return 0 }
+
 // Stream returns a replay Stream over thread's records (threads wrap
-// modulo the recorded count, so a trace recorded with fewer threads
-// than a run schedules still feeds every software thread). The
-// returned stream is independent of every other: concurrent replays
-// of one Trace are safe.
+// modulo the recorded count). The returned stream is independent of
+// every other: concurrent replays of one Trace are safe.
 func (t *Trace) Stream(thread int) Stream {
 	return &SliceStream{Recs: t.Threads[thread%len(t.Threads)]}
 }
@@ -68,51 +138,112 @@ func (t *Trace) Records() int {
 	return n
 }
 
-// EncodeTrace serializes t canonically:
-//
-//	magic[8] | u32 version | u32 metaLen | meta JSON |
-//	u32 threads | per thread: u64 count, records... | sha256[32]
-//
-// A record is a kind byte followed by one uvarint — the instruction
-// count for Compute, the byte address for memory ops. The same Trace
-// always encodes to the same bytes, so re-recording a replayed trace
-// reproduces the file bit for bit.
-func EncodeTrace(t *Trace) ([]byte, error) {
+// appendRecord appends one record in the wire encoding shared by both
+// codec versions: a kind byte followed by one uvarint — the
+// instruction count for Compute, the byte address for memory ops.
+func appendRecord(dst []byte, r Record) ([]byte, error) {
+	var varBuf [binary.MaxVarintLen64]byte
+	var v uint64
+	switch r.Kind {
+	case Compute:
+		v = uint64(r.N)
+	case Load, Store, LoadDep:
+		v = uint64(r.Addr)
+	default:
+		return dst, fmt.Errorf("trace: encode: unknown record kind %d", r.Kind)
+	}
+	dst = append(dst, byte(r.Kind))
+	return append(dst, varBuf[:binary.PutUvarint(varBuf[:], v)]...), nil
+}
+
+// decodeRecord decodes one wire-encoded record from buf starting at
+// pos, returning the record and the position after it.
+func decodeRecord(buf []byte, pos int) (Record, int, error) {
+	if pos >= len(buf) {
+		return Record{}, pos, fmt.Errorf("trace: truncated record")
+	}
+	kind := Kind(buf[pos])
+	pos++
+	v, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return Record{}, pos, fmt.Errorf("trace: malformed record value")
+	}
+	pos += n
+	switch kind {
+	case Compute:
+		if v == 0 || v > 1<<32-1 {
+			return Record{}, pos, fmt.Errorf("trace: compute burst of %d instructions", v)
+		}
+		return Record{Kind: Compute, N: uint32(v)}, pos, nil
+	case Load, Store, LoadDep:
+		return Record{Kind: kind, Addr: mem.Addr(v)}, pos, nil
+	}
+	return Record{}, pos, fmt.Errorf("trace: unknown record kind %d", kind)
+}
+
+// encodeHeader writes the fixed envelope both versions share: magic,
+// version, meta length + canonical JSON, thread count.
+func encodeHeader(b *bytes.Buffer, t *Trace, version uint32) error {
 	if len(t.Threads) == 0 {
-		return nil, fmt.Errorf("trace: encode: no thread streams")
+		return fmt.Errorf("trace: encode: no thread streams")
 	}
 	meta, err := json.Marshal(t.Meta)
 	if err != nil {
-		return nil, fmt.Errorf("trace: encode meta: %w", err)
+		return fmt.Errorf("trace: encode meta: %w", err)
 	}
-	var b bytes.Buffer
 	b.Write(traceMagic[:])
 	var u32 [4]byte
 	put32 := func(v uint32) {
 		binary.LittleEndian.PutUint32(u32[:], v)
 		b.Write(u32[:])
 	}
-	put32(CodecVersion)
+	put32(version)
 	put32(uint32(len(meta)))
 	b.Write(meta)
 	put32(uint32(len(t.Threads)))
-	var varBuf [binary.MaxVarintLen64]byte
+	return nil
+}
+
+// EncodeTrace serializes t canonically in the current default layout
+// (CodecVersion). The same Trace always encodes to the same bytes, so
+// re-recording a replayed trace reproduces the file bit for bit.
+func EncodeTrace(t *Trace) ([]byte, error) {
+	return EncodeTraceVersion(t, CodecVersion)
+}
+
+// EncodeTraceVersion serializes t in a specific codec version — 1 for
+// the flat legacy layout, 2 for the block-compressed layout. Both are
+// canonical: the same Trace and version always yield the same bytes.
+func EncodeTraceVersion(t *Trace, version int) ([]byte, error) {
+	switch version {
+	case 1:
+		return encodeTraceV1(t)
+	case 2:
+		return encodeTraceV2(t)
+	}
+	return nil, fmt.Errorf("trace: cannot encode codec version %d (this build writes v1 and v2)", version)
+}
+
+// encodeTraceV1 writes the flat v1 layout:
+//
+//	magic[8] | u32 version=1 | u32 metaLen | meta JSON |
+//	u32 threads | per thread: u64 count, records... | sha256[32]
+func encodeTraceV1(t *Trace) ([]byte, error) {
+	var b bytes.Buffer
+	if err := encodeHeader(&b, t, 1); err != nil {
+		return nil, err
+	}
 	var u64 [8]byte
+	var err error
+	rec := make([]byte, 0, 16)
 	for _, recs := range t.Threads {
 		binary.LittleEndian.PutUint64(u64[:], uint64(len(recs)))
 		b.Write(u64[:])
 		for _, r := range recs {
-			b.WriteByte(byte(r.Kind))
-			var v uint64
-			switch r.Kind {
-			case Compute:
-				v = uint64(r.N)
-			case Load, Store, LoadDep:
-				v = uint64(r.Addr)
-			default:
-				return nil, fmt.Errorf("trace: encode: unknown record kind %d", r.Kind)
+			if rec, err = appendRecord(rec[:0], r); err != nil {
+				return nil, err
 			}
-			b.Write(varBuf[:binary.PutUvarint(varBuf[:], v)])
+			b.Write(rec)
 		}
 	}
 	sum := sha256.Sum256(b.Bytes())
@@ -127,10 +258,22 @@ func IsTrace(data []byte) bool {
 	return len(data) >= len(traceMagic) && bytes.Equal(data[:len(traceMagic)], traceMagic[:])
 }
 
-// DecodeTrace reverses EncodeTrace. Every defect is a distinct, loud
-// error — wrong magic, future codec version, truncation, checksum
-// mismatch, or malformed records — never a partial Trace: a damaged
-// trace must not replay as a subtly different workload.
+// traceVersion extracts the codec version field from an encoded trace
+// (0 if the data is too short to carry one).
+func traceVersion(data []byte) uint32 {
+	if !IsTrace(data) || len(data) < len(traceMagic)+4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(data[len(traceMagic):])
+}
+
+// DecodeTrace reverses EncodeTrace for either codec version,
+// materializing every record. Every defect is a distinct, loud error —
+// wrong magic, future codec version, truncation, checksum mismatch, or
+// malformed records — never a partial Trace: a damaged trace must not
+// replay as a subtly different workload. Large v2 files should be
+// opened with OpenFile instead, which streams records block by block
+// rather than materializing them.
 func DecodeTrace(data []byte) (*Trace, error) {
 	if !IsTrace(data) {
 		return nil, fmt.Errorf("trace: not a skybyte trace (bad magic)")
@@ -138,11 +281,27 @@ func DecodeTrace(data []byte) (*Trace, error) {
 	if len(data) < len(traceMagic)+8+sha256.Size {
 		return nil, fmt.Errorf("trace: truncated (file shorter than the fixed envelope)")
 	}
+	switch v := traceVersion(data); v {
+	case 1:
+		return decodeTraceV1(data)
+	case 2:
+		r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return nil, err
+		}
+		return r.Materialize()
+	default:
+		return nil, fmt.Errorf("trace: codec version %d, this build reads v1-v%d (re-record the trace)", v, CodecVersion)
+	}
+}
+
+// decodeTraceV1 reverses encodeTraceV1.
+func decodeTraceV1(data []byte) (*Trace, error) {
 	body, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
 	if got := sha256.Sum256(body); !bytes.Equal(got[:], sum) {
 		return nil, fmt.Errorf("trace: corrupt (checksum mismatch; the file was truncated or altered)")
 	}
-	pos := len(traceMagic)
+	pos := len(traceMagic) + 4 // past magic + version
 	read32 := func() (uint32, error) {
 		if pos+4 > len(body) {
 			return 0, fmt.Errorf("trace: truncated inside the header")
@@ -150,13 +309,6 @@ func DecodeTrace(data []byte) (*Trace, error) {
 		v := binary.LittleEndian.Uint32(body[pos:])
 		pos += 4
 		return v, nil
-	}
-	version, err := read32()
-	if err != nil {
-		return nil, err
-	}
-	if version != CodecVersion {
-		return nil, fmt.Errorf("trace: codec version %d, this build reads v%d (re-record the trace)", version, CodecVersion)
 	}
 	metaLen, err := read32()
 	if err != nil {
@@ -196,24 +348,12 @@ func DecodeTrace(data []byte) (*Trace, error) {
 			if pos >= len(body) {
 				return nil, fmt.Errorf("trace: truncated inside thread %d's records", ti)
 			}
-			kind := Kind(body[pos])
-			pos++
-			v, n := binary.Uvarint(body[pos:])
-			if n <= 0 {
-				return nil, fmt.Errorf("trace: malformed record %d of thread %d", ri, ti)
+			r, next, err := decodeRecord(body, pos)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d of thread %d: %w", ri, ti, err)
 			}
-			pos += n
-			switch kind {
-			case Compute:
-				if v == 0 || v > 1<<32-1 {
-					return nil, fmt.Errorf("trace: compute burst of %d instructions in thread %d", v, ti)
-				}
-				recs = append(recs, Record{Kind: Compute, N: uint32(v)})
-			case Load, Store, LoadDep:
-				recs = append(recs, Record{Kind: kind, Addr: mem.Addr(v)})
-			default:
-				return nil, fmt.Errorf("trace: unknown record kind %d in thread %d", kind, ti)
-			}
+			pos = next
+			recs = append(recs, r)
 		}
 		t.Threads = append(t.Threads, recs)
 	}
@@ -224,13 +364,14 @@ func DecodeTrace(data []byte) (*Trace, error) {
 }
 
 // TraceDigest returns the stable content identity of an encoded trace:
-// the codec version plus the hex of the file's own trailing checksum.
-// Workload registration folds this into a trace-backed workload's
-// source identity, so editing or re-recording a trace file — or
-// bumping the codec — changes every fingerprint derived from it.
+// the file's own codec version plus the hex of its sha256. Workload
+// registration folds this into a trace-backed workload's source
+// identity, so editing or re-recording a trace file — or re-encoding
+// it under a different codec version — changes every fingerprint
+// derived from it.
 func TraceDigest(encoded []byte) string {
 	sum := sha256.Sum256(encoded)
-	return fmt.Sprintf("v%d:%s", CodecVersion, hex.EncodeToString(sum[:]))
+	return fmt.Sprintf("v%d:%s", traceVersion(encoded), hex.EncodeToString(sum[:]))
 }
 
 // RecordStream drains up to maxRecords records from src into a slice —

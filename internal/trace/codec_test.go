@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -37,29 +38,73 @@ func sampleTrace() *Trace {
 
 func TestTraceRoundTripByteIdentity(t *testing.T) {
 	tr := sampleTrace()
-	a, err := EncodeTrace(tr)
+	for _, version := range []int{1, 2} {
+		a, err := EncodeTraceVersion(tr, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeTrace(a)
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		if !reflect.DeepEqual(dec.Meta, tr.Meta) {
+			t.Fatalf("v%d: meta changed across round trip: %+v vs %+v", version, dec.Meta, tr.Meta)
+		}
+		if !reflect.DeepEqual(dec.Threads, tr.Threads) {
+			t.Fatalf("v%d: records changed across round trip", version)
+		}
+		b, err := EncodeTraceVersion(dec, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("v%d: re-encoding a decoded trace is not byte-identical", version)
+		}
+		if TraceDigest(a) != TraceDigest(b) {
+			t.Fatalf("v%d: digest differs across an identical round trip", version)
+		}
+		wantPrefix := fmt.Sprintf("v%d:", version)
+		if !strings.HasPrefix(TraceDigest(a), wantPrefix) {
+			t.Fatalf("digest %q does not carry the file's own version prefix %q", TraceDigest(a), wantPrefix)
+		}
+	}
+	// The default encoder writes the current version.
+	def, err := EncodeTrace(tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := DecodeTrace(a)
+	cur, err := EncodeTraceVersion(tr, CodecVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(dec.Meta, tr.Meta) {
-		t.Fatalf("meta changed across round trip: %+v vs %+v", dec.Meta, tr.Meta)
+	if string(def) != string(cur) {
+		t.Fatal("EncodeTrace does not match EncodeTraceVersion(t, CodecVersion)")
 	}
-	if !reflect.DeepEqual(dec.Threads, tr.Threads) {
-		t.Fatal("records changed across round trip")
-	}
-	b, err := EncodeTrace(dec)
+}
+
+func TestCrossVersionDecodeIdentical(t *testing.T) {
+	tr := sampleTrace()
+	v1, err := EncodeTraceVersion(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(a) != string(b) {
-		t.Fatal("re-encoding a decoded trace is not byte-identical")
+	v2, err := EncodeTraceVersion(tr, 2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if TraceDigest(a) != TraceDigest(b) {
-		t.Fatal("digest differs across an identical round trip")
+	d1, err := DecodeTrace(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeTrace(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("the same trace decodes differently through v1 and v2")
+	}
+	if len(v2) >= len(v1) {
+		t.Fatalf("v2 (%d bytes) is not smaller than v1 (%d bytes)", len(v2), len(v1))
 	}
 }
 
@@ -84,29 +129,31 @@ func TestTraceReplayStream(t *testing.T) {
 }
 
 func TestTraceDecodeRejectsDamage(t *testing.T) {
-	good, err := EncodeTrace(sampleTrace())
-	if err != nil {
-		t.Fatal(err)
-	}
-	cases := []struct {
-		name    string
-		mutate  func([]byte) []byte
-		errPart string
-	}{
-		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, "bad magic"},
-		{"truncated", func(b []byte) []byte { return b[:len(b)-9] }, "checksum"},
-		{"tiny", func(b []byte) []byte { return b[:12] }, ""},
-		{"flipped byte", func(b []byte) []byte { b[len(b)/2] ^= 1; return b }, "checksum"},
-		{"flipped checksum", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, "checksum"},
-	}
-	for _, tc := range cases {
-		data := tc.mutate(append([]byte(nil), good...))
-		_, err := DecodeTrace(data)
-		if err == nil {
-			t.Fatalf("%s: damaged trace decoded without error", tc.name)
+	for _, version := range []int{1, 2} {
+		good, err := EncodeTraceVersion(sampleTrace(), version)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if tc.errPart != "" && !strings.Contains(err.Error(), tc.errPart) {
-			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+		cases := []struct {
+			name    string
+			mutate  func([]byte) []byte
+			errPart string
+		}{
+			{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, "bad magic"},
+			{"truncated", func(b []byte) []byte { return b[:len(b)-9] }, ""},
+			{"tiny", func(b []byte) []byte { return b[:12] }, ""},
+			{"flipped byte", func(b []byte) []byte { b[len(b)/2] ^= 1; return b }, ""},
+			{"flipped checksum", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, "checksum"},
+		}
+		for _, tc := range cases {
+			data := tc.mutate(append([]byte(nil), good...))
+			_, err := DecodeTrace(data)
+			if err == nil {
+				t.Fatalf("v%d %s: damaged trace decoded without error", version, tc.name)
+			}
+			if tc.errPart != "" && !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("v%d %s: error %q does not mention %q", version, tc.name, err, tc.errPart)
+			}
 		}
 	}
 }
@@ -120,7 +167,7 @@ func TestTraceDecodeRejectsFutureVersion(t *testing.T) {
 	// from a newer build: the decoder must refuse with a clear error
 	// rather than guess at the layout.
 	data := append([]byte(nil), good...)
-	data[8] = CodecVersion + 1
+	data[8] = CodecVersion + 7
 	sum := sha256.Sum256(data[:len(data)-sha256.Size])
 	copy(data[len(data)-sha256.Size:], sum[:])
 	_, err = DecodeTrace(data)
@@ -137,7 +184,7 @@ func TestDecodeRejectsHugeDeclaredCount(t *testing.T) {
 		Meta:    Meta{Workload: "x", FootprintPages: 1},
 		Threads: [][]Record{{{Kind: Compute, N: 5}}},
 	}
-	data, err := EncodeTrace(tr)
+	data, err := EncodeTraceVersion(tr, 1) // the attack targets v1's flat count field
 	if err != nil {
 		t.Fatal(err)
 	}

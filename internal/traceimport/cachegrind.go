@@ -1,0 +1,68 @@
+package traceimport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"skybyte/internal/trace"
+)
+
+// importCachegrind converts a cachegrind/lackey-style address log —
+// the format valgrind --tool=lackey --trace-mem=yes prints:
+//
+//	I  04010000,3      instruction fetch at addr, size bytes
+//	 L 04222222,8      data load
+//	 S 04222222,8      data store
+//	 M 0421d512,4      modify (load + store to one address)
+//
+// Instruction fetches coalesce into Compute records (one instruction
+// each; the fetch address itself is not replayed — our CPU model
+// fetches from the trace, not from simulated text pages). L/S/M become
+// Load/Store/Load+Store at the normalized data address. Lines opening
+// with "==" (valgrind banners) and blank lines are skipped; anything
+// else is a loud parse error.
+func importCachegrind(r io.Reader, n *normalizer) ([][]trace.Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var e emitter
+	ops := 0
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "==") {
+			continue
+		}
+		kind := trimmed[0]
+		rest := strings.TrimSpace(trimmed[1:])
+		addrHex, _, _ := strings.Cut(rest, ",")
+		addr, err := strconv.ParseUint(strings.TrimSpace(addrHex), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cachegrind: line %d: unrecognized line %q (expected \"I|L|S|M addr,size\")", ln, line)
+		}
+		switch kind {
+		case 'I':
+			e.compute(1)
+		case 'L':
+			e.mem(trace.Load, n.addr(addr))
+		case 'S':
+			e.mem(trace.Store, n.addr(addr))
+		case 'M':
+			a := n.addr(addr)
+			e.mem(trace.Load, a)
+			e.mem(trace.Store, a)
+		default:
+			return nil, fmt.Errorf("cachegrind: line %d: unknown op %q in %q", ln, kind, line)
+		}
+		ops++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cachegrind: %w", err)
+	}
+	if ops == 0 {
+		return nil, fmt.Errorf("cachegrind: no records (empty or foreign file?)")
+	}
+	return [][]trace.Record{e.done()}, nil
+}

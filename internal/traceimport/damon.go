@@ -1,0 +1,97 @@
+package traceimport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"skybyte/internal/mem"
+	"skybyte/internal/trace"
+)
+
+// damonRegion matches one region line of a `damo report raw` dump:
+//
+//	7f2f10000000-7f2f1a000000(  160.000 MiB):	12
+//
+// i.e. hex start-end, a parenthesized human size (ignored), and the
+// sampled access count for the aggregation interval.
+var damonRegion = regexp.MustCompile(`^([0-9a-fA-F]+)-([0-9a-fA-F]+)\s*\([^)]*\):\s*(\d+)$`)
+
+// damonComputeGap is the synthetic compute burst interleaved between
+// the accesses of one region. DAMON records *where* memory is hot, not
+// the instructions between accesses; a fixed gap keeps the replayed
+// stream memory-intensive while remaining deterministic. Documented in
+// WORKLOADS.md as a per-format caveat.
+const damonComputeGap = 20
+
+// importDAMON converts a DAMON raw dump: every region line with a
+// non-zero access count synthesizes that many line-aligned Loads,
+// evenly strided across the region, in file order. Snapshot headers
+// (monitoring_*, target_id, nr_regions, base_time_absolute, intervals)
+// are skipped; anything else is a loud parse error. DAMON does not
+// attribute reads vs writes in this dump, so the synthetic stream is
+// read-only (WriteRatio 0) — replay exercises the read path and page
+// heat, not the write log.
+func importDAMON(r io.Reader, n *normalizer) ([][]trace.Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var e emitter
+	regions := 0
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if m := damonRegion.FindStringSubmatch(line); m != nil {
+			start, err1 := strconv.ParseUint(m[1], 16, 64)
+			end, err2 := strconv.ParseUint(m[2], 16, 64)
+			accesses, err3 := strconv.ParseUint(m[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil || end <= start {
+				return nil, fmt.Errorf("damon: line %d: malformed region %q", ln, line)
+			}
+			regions++
+			if accesses == 0 {
+				continue
+			}
+			// Cap the synthetic expansion of one region: a dump line
+			// carries at most the sampling budget of one aggregation
+			// interval in practice, but the value is untrusted input.
+			if accesses > 1<<20 {
+				return nil, fmt.Errorf("damon: line %d: region declares %d accesses (damaged dump?)", ln, accesses)
+			}
+			size := end - start
+			stride := size / accesses
+			if stride < mem.LineBytes {
+				stride = mem.LineBytes
+			}
+			for i := uint64(0); i < accesses; i++ {
+				e.compute(damonComputeGap)
+				e.mem(trace.Load, n.addr(start+(i*stride)%size))
+			}
+			continue
+		}
+		// Known snapshot headers and metadata lines.
+		if key, _, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(key) {
+			case "base_time_absolute", "monitoring_start", "monitoring_end",
+				"monitoring_duration", "target_id", "nr_regions", "intervals":
+				continue
+			}
+		}
+		return nil, fmt.Errorf("damon: line %d: unrecognized line %q (expected a damo raw dump)", ln, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("damon: %w", err)
+	}
+	if regions == 0 {
+		return nil, fmt.Errorf("damon: no region lines (empty or foreign file?)")
+	}
+	recs := e.done()
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("damon: every region reports zero accesses; nothing to replay")
+	}
+	return [][]trace.Record{recs}, nil
+}

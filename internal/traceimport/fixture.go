@@ -1,0 +1,110 @@
+package traceimport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"skybyte/internal/trace"
+)
+
+// WriteFixture writes a tiny, fully deterministic synthetic source
+// file in the named external format — a stand-in for a real published
+// trace. Tests and the CI import-pipeline job use it so the importer
+// path is exercised end to end without shipping third-party trace
+// files; it also gives users a known-good example of each format.
+func WriteFixture(format, path string) error {
+	var data []byte
+	switch format {
+	case "champsim":
+		data = champSimFixture()
+	case "damon":
+		data = damonFixture()
+	case "cachegrind":
+		data = cachegrindFixture()
+	default:
+		return fmt.Errorf("traceimport: no fixture generator for format %q (valid: champsim, damon, cachegrind)", format)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// champSimFixture emits ~900 64-byte ChampSim records: compute runs, a
+// sequential read sweep, zipf-ish hot stores, and an instruction with
+// multiple memory slots, so every importer branch executes.
+func champSimFixture() []byte {
+	var b bytes.Buffer
+	rng := trace.NewRNG(123)
+	var rec [champSimRecordBytes]byte
+	emit := func(ip uint64, srcMem [4]uint64, destMem [2]uint64) {
+		for i := range rec {
+			rec[i] = 0
+		}
+		binary.LittleEndian.PutUint64(rec[0:], ip)
+		for d, a := range destMem {
+			binary.LittleEndian.PutUint64(rec[16+8*d:], a)
+		}
+		for s, a := range srcMem {
+			binary.LittleEndian.PutUint64(rec[32+8*s:], a)
+		}
+		b.Write(rec[:])
+	}
+	const heap = 0x5600_0000_0000
+	for i := uint64(0); i < 300; i++ {
+		// A short compute run...
+		for c := uint64(0); c < 1+rng.Uint64n(3); c++ {
+			emit(0x401000+16*i+c, [4]uint64{}, [2]uint64{})
+		}
+		// ...a sequential load, a hot random load...
+		emit(0x402000, [4]uint64{heap + i*64}, [2]uint64{})
+		emit(0x402008, [4]uint64{heap + (rng.Uint64n(64))*4096 + 128}, [2]uint64{})
+		// ...and occasionally a store or a two-slot instruction.
+		if i%5 == 0 {
+			emit(0x402010, [4]uint64{}, [2]uint64{heap + i*64})
+		}
+		if i%31 == 0 {
+			emit(0x402020, [4]uint64{heap + i*64, heap + i*64 + 4096}, [2]uint64{heap + 0x100000 + i*64})
+		}
+	}
+	return b.Bytes()
+}
+
+// damonFixture emits two snapshots of three regions each in damo raw
+// form, with distinct heats.
+func damonFixture() []byte {
+	var b bytes.Buffer
+	b.WriteString("base_time_absolute: 8 m 59.809 s\n\n")
+	for snap := 0; snap < 2; snap++ {
+		b.WriteString("monitoring_start:                0 ns\n")
+		b.WriteString("monitoring_end:            104.599 ms\n")
+		b.WriteString("monitoring_duration:       104.599 ms\n")
+		b.WriteString("target_id: 4242\n")
+		b.WriteString("nr_regions: 3\n")
+		base := uint64(0x7f2f_1000_0000 + uint64(snap)*0x4000_0000)
+		fmt.Fprintf(&b, "%x-%x(   4.000 MiB):\t%d\n", base, base+4<<20, 37)
+		fmt.Fprintf(&b, "%x-%x(  16.000 MiB):\t%d\n", base+4<<20, base+20<<20, 0)
+		fmt.Fprintf(&b, "%x-%x(   1.000 MiB):\t%d\n", base+20<<20, base+21<<20, 120)
+	}
+	return b.Bytes()
+}
+
+// cachegrindFixture emits a lackey-style address log: banner lines,
+// instruction fetch runs, and an L/S/M mix over two small arrays.
+func cachegrindFixture() []byte {
+	var b bytes.Buffer
+	b.WriteString("==12345== Lackey, an example Valgrind tool\n")
+	b.WriteString("==12345== Command: ./fixture\n")
+	rng := trace.NewRNG(321)
+	for i := uint64(0); i < 250; i++ {
+		fmt.Fprintf(&b, "I  %08x,4\n", 0x40_1000+4*i)
+		fmt.Fprintf(&b, " L %08x,8\n", 0x522_0000+8*i)
+		if i%3 == 0 {
+			fmt.Fprintf(&b, " S %08x,8\n", 0x534_0000+rng.Uint64n(40)*64)
+		}
+		if i%7 == 0 {
+			fmt.Fprintf(&b, " M %08x,4\n", 0x534_0000+rng.Uint64n(40)*64)
+		}
+	}
+	b.WriteString("==12345== exiting\n")
+	return b.Bytes()
+}

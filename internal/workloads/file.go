@@ -14,7 +14,9 @@ import (
 //
 //   - a recorded binary trace (internal/trace codec; magic "SKYBTRC")
 //     becomes a trace-kind workload named "trace:<workload>" that
-//     replays the records literally;
+//     replays the records literally — opened through the streaming
+//     reader, so a block-compressed v2 recording replays with O(block)
+//     memory and is never materialized;
 //   - anything else must be a JSON declarative definition
 //     (WORKLOADS.md documents the schema). Unknown fields are rejected
 //     so a typo fails loudly instead of silently meaning "default".
@@ -22,16 +24,31 @@ import (
 // The returned Spec is validated but not registered; RegisterFile also
 // makes it resolvable by name.
 func FromFile(path string) (Spec, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return Spec{}, fmt.Errorf("workloads: %w", err)
 	}
-	if trace.IsTrace(data) {
-		tr, err := trace.DecodeTrace(data)
+	var magic [8]byte
+	n, _ := f.Read(magic[:])
+	f.Close()
+	if trace.IsTrace(magic[:n]) {
+		// Trace files can be arbitrarily large; never slurp them. The
+		// streaming open verifies the whole file (structure, block
+		// seals, trailer) and computes the digest in one bounded pass.
+		r, err := trace.OpenFile(path)
 		if err != nil {
 			return Spec{}, fmt.Errorf("workloads: %s: %w", path, err)
 		}
-		return SpecFromTrace(tr, trace.TraceDigest(data))
+		s, err := SpecFromTrace(r, r.Digest())
+		if err != nil {
+			r.Close()
+			return Spec{}, fmt.Errorf("workloads: %s: %w", path, err)
+		}
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("workloads: %w", err)
 	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -60,26 +77,30 @@ func RegisterFile(path string) (Spec, error) {
 	return s, nil
 }
 
-// SpecFromTrace wraps a decoded trace as a replayable workload named
+// SpecFromTrace wraps a replayable trace source (a materialized
+// *trace.Trace or a streaming *trace.Reader) as a workload named
 // "trace:<original workload>". The digest (trace.TraceDigest of the
 // encoded bytes) becomes the spec's source identity, so an edited or
-// re-recorded trace — or a codec bump — fingerprints differently.
-func SpecFromTrace(tr *trace.Trace, digest string) (Spec, error) {
-	if len(tr.Threads) == 0 {
+// re-recorded trace — or a re-encode under a different codec version —
+// fingerprints differently, and the PR-4 surgical store invalidation
+// re-keys exactly the design points that replay it.
+func SpecFromTrace(src trace.Source, digest string) (Spec, error) {
+	if src.NumThreads() == 0 {
 		return Spec{}, fmt.Errorf("workloads: trace has no thread streams")
 	}
-	if tr.Meta.FootprintPages == 0 {
+	meta := src.TraceMeta()
+	if meta.FootprintPages == 0 {
 		return Spec{}, fmt.Errorf("workloads: trace metadata missing footprint_pages")
 	}
-	name := "trace:" + tr.Meta.Workload
+	name := "trace:" + meta.Workload
 	if err := validateName(name); err != nil {
 		return Spec{}, err
 	}
 	return Spec{
 		Name:           name,
 		Suite:          "trace",
-		FootprintPages: tr.Meta.FootprintPages,
-		WriteRatio:     tr.Meta.WriteRatio,
-		Trace:          &TraceReplay{Data: tr, Digest: digest},
+		FootprintPages: meta.FootprintPages,
+		WriteRatio:     meta.WriteRatio,
+		Trace:          &TraceReplay{Data: src, Digest: digest},
 	}, nil
 }

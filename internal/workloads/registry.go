@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -89,7 +90,19 @@ func Register(s Spec) error {
 	registry.Lock()
 	defer registry.Unlock()
 	if i, ok := registry.index[s.Name]; ok {
+		old := registry.specs[i]
 		registry.specs[i] = s
+		// A displaced trace workload may hold a streaming reader with
+		// an open file handle; release it so the file-editing loop
+		// (re-register after every edit) does not leak a descriptor
+		// per iteration. Sound under the registration contract: specs
+		// are registered before runners and harnesses resolve them, so
+		// nothing replays the displaced spec's streams afterwards.
+		if old.Trace != nil && (s.Trace == nil || old.Trace.Data != s.Trace.Data) {
+			if c, ok := old.Trace.Data.(io.Closer); ok {
+				c.Close()
+			}
+		}
 		return nil
 	}
 	registry.index[s.Name] = len(registry.specs)

@@ -48,12 +48,16 @@ type Spec struct {
 	native func(Spec, int, *trace.RNG) trace.Stream
 }
 
-// TraceReplay backs a trace-kind workload: decoded records plus the
-// content digest that identifies them in fingerprints.
+// TraceReplay backs a trace-kind workload: a replayable record source
+// plus the content digest that identifies it in fingerprints. The
+// source is either a materialized *trace.Trace (e.g. fresh from an
+// importer) or a streaming *trace.Reader, which replays straight off
+// the file one compressed block at a time so campaign memory stays
+// bounded no matter how large the recording is.
 type TraceReplay struct {
-	Data *trace.Trace
-	// Digest is trace.TraceDigest of the encoded file — codec version
-	// plus content hash.
+	Data trace.Source
+	// Digest is trace.TraceDigest of the encoded file — the file's
+	// codec version plus content hash.
 	Digest string
 }
 

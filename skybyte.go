@@ -43,6 +43,7 @@ import (
 	"skybyte/internal/system"
 	"skybyte/internal/tenant"
 	"skybyte/internal/trace"
+	"skybyte/internal/traceimport"
 	"skybyte/internal/workloads"
 )
 
@@ -125,6 +126,31 @@ func WorkloadNames() []string { return workloads.Names() }
 // persistent result store distinguishes runs made with different
 // definitions of the same name.
 func WorkloadFromFile(path string) (Workload, error) { return workloads.RegisterFile(path) }
+
+// ImportTrace converts an externally produced trace — spec is
+// "<format>:<path>", formats listed by ImportFormats — and registers
+// it as a replayable workload named "trace:<format>:<source>", so a
+// published recording joins campaigns exactly like one of our own.
+// The conversion is deterministic and the registered spec's source
+// identity folds the converted file's digest (which covers the source
+// file's sha256 via the provenance meta), so persistent result stores
+// re-cold exactly the design points replaying this import when the
+// source or the converter changes. For large traces, prefer recording
+// the conversion to a .trc once (skybyte-trace -import ... -record)
+// and loading that file: the block-compressed container then replays
+// with bounded memory instead of being held in RAM.
+func ImportTrace(spec string) (Workload, error) {
+	format, path, err := traceimport.ParseSpec(spec)
+	if err != nil {
+		return Workload{}, err
+	}
+	return traceimport.RegisterWorkload(format, path)
+}
+
+// ImportFormats lists the external trace formats ImportTrace converts
+// (champsim, damon, cachegrind — see WORKLOADS.md for each format's
+// shape and caveats).
+func ImportFormats() []string { return traceimport.Formats() }
 
 // NewSystem wires a machine from cfg.
 func NewSystem(cfg Config) *System { return system.New(cfg) }

@@ -6,11 +6,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"skybyte"
 	"skybyte/internal/system"
 	"skybyte/internal/trace"
+	"skybyte/internal/traceimport"
 )
 
 func TestPublicAPIRoundTrip(t *testing.T) {
@@ -428,5 +430,91 @@ func TestTraceRecordReplayBitForBit(t *testing.T) {
 	}
 	if string(la) != string(ra) {
 		t.Fatalf("replayed Result differs from the live run:\nlive:   %.200s\nreplay: %.200s", la, ra)
+	}
+}
+
+// TestImportedTraceEndToEnd is the importer acceptance at the public
+// API: a synthetic ChampSim trace imports to a registered workload,
+// replays to byte-identical Results across goroutines (a campaign's
+// parallelism must not be able to tell imported streams apart from
+// generated ones), and the in-memory import fingerprints identically
+// to the same conversion recorded to a .trc and loaded back — so a
+// persistent store warms across the two entry paths.
+func TestImportedTraceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "fixture.champsim")
+	if err := traceimport.WriteFixture("champsim", src); err != nil {
+		t.Fatal(err)
+	}
+	w, err := skybyte.ImportTrace("champsim:" + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "trace:champsim:fixture.champsim" {
+		t.Fatalf("imported workload named %q", w.Name)
+	}
+	got, err := skybyte.WorkloadByName(w.Name)
+	if err != nil || got.Trace == nil {
+		t.Fatalf("imported workload does not resolve by name: %v", err)
+	}
+
+	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+	const threads, per = 4, 3000
+	results := make([]*skybyte.Result, 3)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = skybyte.Run(cfg, w, threads, per, 1)
+		}(i)
+	}
+	wg.Wait()
+	first, err := system.EncodeResult(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		enc, err := system.EncodeResult(results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(first) {
+			t.Fatalf("concurrent replays of the imported trace diverged (run %d)", i)
+		}
+	}
+
+	// Record the conversion and load the file: same records, same
+	// source identity — the spec key (and so any cached result) is
+	// shared between the -import and -workload-file entry paths.
+	tr, err := traceimport.Import("champsim", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := trace.EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc := filepath.Join(dir, "fixture.trc")
+	if err := os.WriteFile(trc, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := skybyte.WorkloadFromFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.SourceID() != w.SourceID() {
+		t.Fatalf("source identity differs between import (%s) and file load (%s)", w.SourceID(), fromFile.SourceID())
+	}
+	fileRes := skybyte.Run(cfg, fromFile, threads, per, 7) // trace replay ignores the seed
+	enc, err := system.EncodeResult(fileRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(first) {
+		t.Fatal("replay through the recorded .trc differs from the in-memory import")
+	}
+	if skybyte.ImportFormats()[0] == "" || len(skybyte.ImportFormats()) != 3 {
+		t.Fatalf("ImportFormats = %v", skybyte.ImportFormats())
 	}
 }
