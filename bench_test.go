@@ -196,6 +196,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
 	var instr uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := skybyte.Run(cfg, w, 24, 8000, uint64(i+1))
@@ -229,6 +230,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 	for _, par := range levels {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
 			var runs atomic.Int64
 			for i := 0; i < b.N; i++ {
 				o := opt
@@ -242,6 +244,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 
 	b.Run("store=cold", func(b *testing.B) {
+		b.ReportAllocs()
 		var runs atomic.Int64
 		for i := 0; i < b.N; i++ {
 			o := opt
@@ -258,6 +261,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		o.CacheDir = b.TempDir()
 		experiments.NewHarness(o).All() // populate once, untimed
 		var recalls, sims atomic.Int64
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			h := experiments.NewHarness(o)

@@ -65,6 +65,7 @@ func main() {
 	})
 	var (
 		mixCSV      = flag.String("mix", "", "comma-separated mix subset for the figmix fairness table (default: all built-in and -mix-file mixes)")
+		tenantRows  = flag.Bool("tenant-rows", false, "extend figures 14/16/17 with per-tenant rows: each -mix runs co-located and every tenant contributes a mix/tenant row")
 		figure      = flag.String("figure", "all", "experiment to run: all, "+strings.Join(experiments.IDs(), ", "))
 		workloadCSV = flag.String("workloads", "", "comma-separated workload subset (default: all of Table I, plus any -workload-file)")
 		instr       = flag.Uint64("instr", 0, "total instructions per run (default 384000)")
@@ -148,6 +149,7 @@ func main() {
 	if *mixCSV != "" {
 		opt.Mixes = strings.Split(*mixCSV, ",")
 	}
+	opt.TenantRows = *tenantRows
 	// Validate every workload, mix, and figure name before any
 	// simulation runs: a typo must not leave a partially executed
 	// campaign behind.

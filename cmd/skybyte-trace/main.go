@@ -427,28 +427,27 @@ func recordTrace(w skybyte.Workload, path string, nthreads, maxRecords int, inst
 }
 
 // recordImport converts an external trace (-import <format>:<path>)
-// and writes the result as a .trc, provenance meta included.
+// and writes the result as a .trc, provenance meta included. Records
+// stream from the parser straight into the block writer, so importing
+// a multi-gigabyte published trace needs memory for the encoded
+// output, not for the record stream.
 func recordImport(spec, out string, version int) error {
 	format, src, err := traceimport.ParseSpec(spec)
 	if err != nil {
 		return err
 	}
-	tr, err := traceimport.Import(format, src)
+	enc, err := traceimport.ImportEncoded(format, src, version)
 	if err != nil {
 		return err
 	}
-	data, err := trace.EncodeTraceVersion(tr, version)
-	if err != nil {
+	if err := writeFileAtomic(out, enc.Data); err != nil {
 		return err
 	}
-	if err := writeFileAtomic(out, data); err != nil {
-		return err
-	}
-	o := tr.Meta.Origin
+	o := enc.Meta.Origin
 	fmt.Printf("imported %s %s: %d threads, %d records, %d pages touched\n",
-		format, src, len(tr.Threads), tr.Records(), tr.Meta.FootprintPages)
+		format, src, enc.Threads, enc.Records, enc.Meta.FootprintPages)
 	fmt.Printf("recorded %s: %d bytes (%s; source sha256 %s)\n",
-		out, len(data), trace.TraceDigest(data), o.SourceDigest[:16])
+		out, len(enc.Data), trace.TraceDigest(enc.Data), o.SourceDigest[:16])
 	fmt.Printf("replay with: skybyte-sim -workload-file %s\n", out)
 	return nil
 }

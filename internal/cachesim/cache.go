@@ -54,6 +54,7 @@ type Cache struct {
 	lineMask mem.Addr
 	setMask  uint64
 	shift    uint
+	setShift uint // log2(sets), precomputed off the probe path
 
 	tags  []uint64 // sets*ways; tag==0 slot may still be valid, see valid
 	valid []bool
@@ -92,6 +93,7 @@ func New(cfg Config) *Cache {
 		lineMask: mem.Addr(cfg.LineBytes - 1),
 		setMask:  uint64(sets - 1),
 		shift:    shift,
+		setShift: uint(log2(sets)),
 		tags:     make([]uint64, sets*cfg.Ways),
 		valid:    make([]bool, sets*cfg.Ways),
 		dirty:    make([]bool, sets*cfg.Ways),
@@ -108,7 +110,7 @@ func (c *Cache) Ways() int { return c.ways }
 
 func (c *Cache) index(a mem.Addr) (set int, tag uint64) {
 	ln := uint64(a) >> c.shift
-	return int(ln & c.setMask), ln >> uint(log2(c.sets))
+	return int(ln & c.setMask), ln >> c.setShift
 }
 
 func log2(n int) int {
@@ -223,7 +225,7 @@ func (c *Cache) Fill(a mem.Addr, dirty bool) Victim {
 }
 
 func (c *Cache) lineAddr(set int, tag uint64) mem.Addr {
-	return mem.Addr((tag<<uint(log2(c.sets))|uint64(set))<<c.shift) | 0
+	return mem.Addr((tag<<c.setShift|uint64(set))<<c.shift) | 0
 }
 
 // Invalidate drops the line if present, returning whether it was dirty.

@@ -134,12 +134,45 @@ type fetchWaiter struct {
 	accept   func()
 }
 
+// fetchState tracks one in-flight page fetch. States are pooled on the
+// controller: the flash-completion closure binds once at first allocation
+// and survives reuse, and the waiter slice keeps its capacity, so
+// steady-state misses don't allocate. A state recycles at the end of
+// fetchDone, after it has left the fetches map and every waiter has been
+// scheduled.
 type fetchState struct {
+	next         *fetchState
 	lpa          uint64
 	issuedAt     sim.Time
 	expectedDone sim.Time
 	waiters      []fetchWaiter
 	prefetch     bool
+	onData       func(data []byte)
+}
+
+// respEvt carries a deferred ReadMeta response; pooled per controller and
+// dispatched through hRespond, replacing a per-response closure.
+type respEvt struct {
+	next    *respEvt
+	respond func(ReadMeta)
+	meta    ReadMeta
+}
+
+// hRespond delivers a pooled read response. The event record recycles
+// before the callback runs: respond may issue a new request that reuses it.
+var hRespond sim.HandlerID
+
+func init() {
+	hRespond = sim.RegisterHandler(func(_ uint64, p1, p2 any) {
+		c := p1.(*Controller)
+		r := p2.(*respEvt)
+		respond, meta := r.respond, r.meta
+		r.respond = nil
+		r.meta = ReadMeta{}
+		r.next = c.respFree
+		c.respFree = r
+		respond(meta)
+	})
 }
 
 type pendingWrite struct {
@@ -164,6 +197,9 @@ type Controller struct {
 	fetches map[uint64]*fetchState
 	heat    map[uint64]heatEntry // persistent per-flash-page access heat
 	pinned  map[uint64]bool      // §IV data persistence: never promoted
+
+	fetchFree *fetchState
+	respFree  *respEvt
 
 	compacting    bool
 	compactStart  sim.Time
@@ -227,6 +263,43 @@ func (c *Controller) LogIndexBytes() int {
 // Compacting reports whether a log half is draining.
 func (c *Controller) Compacting() bool { return c.compacting }
 
+// respondAt schedules respond(meta) at time t through the pooled
+// response path.
+func (c *Controller) respondAt(t sim.Time, respond func(ReadMeta), meta ReadMeta) {
+	r := c.respFree
+	if r == nil {
+		r = &respEvt{}
+	} else {
+		c.respFree = r.next
+		r.next = nil
+	}
+	r.respond = respond
+	r.meta = meta
+	c.eng.AtH(t, hRespond, 0, c, r)
+}
+
+// getFetch pops a pooled fetch state, binding its flash-completion
+// callback on first allocation.
+func (c *Controller) getFetch(lpa uint64, issuedAt sim.Time) *fetchState {
+	fs := c.fetchFree
+	if fs == nil {
+		fs = &fetchState{}
+		fs.onData = func(data []byte) { c.fetchDone(fs, data) }
+	} else {
+		c.fetchFree = fs.next
+		fs.next = nil
+	}
+	fs.lpa, fs.issuedAt, fs.expectedDone, fs.prefetch = lpa, issuedAt, 0, false
+	return fs
+}
+
+func (c *Controller) putFetch(fs *fetchState) {
+	clear(fs.waiters)
+	fs.waiters = fs.waiters[:0]
+	fs.next = c.fetchFree
+	c.fetchFree = fs
+}
+
 func (c *Controller) activeLog() *writelog.Log { return c.logs[c.active] }
 func (c *Controller) otherLog() *writelog.Log  { return c.logs[1-c.active] }
 
@@ -266,9 +339,7 @@ func (c *Controller) MemRd(off uint64, record bool, respond func(ReadMeta), hint
 			if c.pendingWrites[i].off>>mem.LineShift == off>>mem.LineShift {
 				data := cloneLine(c.pendingWrites[i].data)
 				done := c.dram.Access(mem.Addr(off), false, nil) + idxLat
-				c.eng.At(done, func() {
-					respond(ReadMeta{Class: stats.SSDReadHit, Index: idxLat, SSDDRAM: done - t0 - idxLat, Data: data})
-				})
+				c.respondAt(done, respond, ReadMeta{Class: stats.SSDReadHit, Index: idxLat, SSDDRAM: done - t0 - idxLat, Data: data})
 				return
 			}
 		}
@@ -280,18 +351,14 @@ func (c *Controller) MemRd(off uint64, record bool, respond func(ReadMeta), hint
 		c.maybePromote(f)
 		data := c.frameLine(f, lineIdx)
 		done := c.dram.Access(mem.Addr(off), false, nil) + idxLat
-		c.eng.At(done, func() {
-			respond(ReadMeta{Class: stats.SSDReadHit, Index: idxLat, SSDDRAM: done - t0 - idxLat, Data: data})
-		})
+		c.respondAt(done, respond, ReadMeta{Class: stats.SSDReadHit, Index: idxLat, SSDDRAM: done - t0 - idxLat, Data: data})
 		return
 	}
 	// R2: write log hit (parallel probe of both halves; newest first).
 	if c.cfg.WriteLogEnabled {
 		if data, ok := c.logLookup(off >> mem.LineShift); ok {
 			done := c.dram.Access(mem.Addr(off), false, nil) + idxLat
-			c.eng.At(done, func() {
-				respond(ReadMeta{Class: stats.SSDReadHit, Index: idxLat, SSDDRAM: done - t0 - idxLat, Data: data})
-			})
+			c.respondAt(done, respond, ReadMeta{Class: stats.SSDReadHit, Index: idxLat, SSDDRAM: done - t0 - idxLat, Data: data})
 			return
 		}
 	}
@@ -314,7 +381,7 @@ func (c *Controller) logLookup(lineNo uint64) ([]byte, bool) {
 func (c *Controller) missRead(lpa, off uint64, t0, idxLat sim.Time, record bool, respond func(ReadMeta), hint func(sim.Time)) {
 	fs, inFlight := c.fetches[lpa]
 	if !inFlight {
-		fs = &fetchState{lpa: lpa, issuedAt: t0}
+		fs = c.getFetch(lpa, t0)
 		c.fetches[lpa] = fs
 		c.startFetch(fs, false)
 	}
@@ -341,13 +408,13 @@ func (c *Controller) startFetch(fs *fetchState, prefetch bool) {
 	} else {
 		c.Traffic.HostReads++
 	}
-	fs.expectedDone = c.fl.Read(fs.lpa, func(data []byte) { c.fetchDone(fs, data) })
+	fs.expectedDone = c.fl.Read(fs.lpa, fs.onData)
 	// Base-CSSD optimisation: prefetch the next page on a demand miss.
 	if !prefetch && c.cfg.PrefetchNext {
 		next := fs.lpa + 1
 		if next < c.fl.LogicalPages() && c.cache.Peek(next) == nil {
 			if _, busy := c.fetches[next]; !busy {
-				nfs := &fetchState{lpa: next, issuedAt: c.eng.Now()}
+				nfs := c.getFetch(next, c.eng.Now())
 				c.fetches[next] = nfs
 				c.startFetch(nfs, true)
 			}
@@ -376,7 +443,6 @@ func (c *Controller) fetchDone(fs *fetchState, flashData []byte) {
 		c.mergeLogInto(f)
 	}
 	for _, w := range fs.waiters {
-		w := w
 		if w.pageOnly {
 			c.eng.At(fillDone, w.accept)
 			continue
@@ -401,16 +467,15 @@ func (c *Controller) fetchDone(fs *fetchState, flashData []byte) {
 			flashWait = 0
 		}
 		done := sim.Max(fillDone, c.dram.Access(mem.Addr(w.off), false, nil))
-		meta := ReadMeta{
+		c.respondAt(done, w.respond, ReadMeta{
 			Class:   stats.SSDReadMiss,
 			Index:   w.idxLat,
 			Flash:   flashWait,
 			SSDDRAM: done - flashDone,
 			Data:    data,
-		}
-		c.eng.At(done, func() { w.respond(meta) })
+		})
 	}
-	fs.waiters = nil
+	c.putFetch(fs)
 }
 
 // mergeLogInto applies logged lines of the frame's page (older half first,
@@ -507,7 +572,7 @@ func (c *Controller) MemWr(off uint64, data []byte, record bool, tenant int, acc
 		c.tenantAcct(tenant).RMWFetches++
 		fs, inFlight := c.fetches[lpa]
 		if !inFlight {
-			fs = &fetchState{lpa: lpa, issuedAt: c.eng.Now()}
+			fs = c.getFetch(lpa, c.eng.Now())
 			c.fetches[lpa] = fs
 			c.startFetch(fs, false)
 		}
@@ -719,7 +784,7 @@ func (c *Controller) FetchPage(lpa uint64, done func()) {
 	}
 	fs, inFlight := c.fetches[lpa]
 	if !inFlight {
-		fs = &fetchState{lpa: lpa, issuedAt: c.eng.Now()}
+		fs = c.getFetch(lpa, c.eng.Now())
 		c.fetches[lpa] = fs
 		c.startFetch(fs, false)
 	}

@@ -116,14 +116,62 @@ const (
 	stIdle
 )
 
+// missEntry is one outstanding LLC miss. Entries are pooled per core: the
+// embedded request and its OnData/OnHint closures are built once, when the
+// entry is first allocated, and reused for every later miss the entry
+// carries — steady-state misses allocate nothing. An entry is recycled
+// only at points where no backend callback can still be pending (retire,
+// the squashed branch of its own callback, or a squash of an entry whose
+// callback already fired); the backend's exactly-one-callback contract
+// makes those points safe.
 type missEntry struct {
+	next       *missEntry // pool free-list link
 	instrIdx   uint64
 	addr       mem.Addr
 	done       bool
 	hinted     bool
 	squashed   bool
 	completion sim.Time
-	req        *ReadReq
+	req        ReadReq
+}
+
+// wbReq carries one writeback's arguments from issue time to its scheduled
+// event; pooled like missEntry.
+type wbReq struct {
+	next   *wbReq
+	core   *Core
+	addr   mem.Addr
+	tenant int
+	record bool
+}
+
+// Typed event handlers (sim.RegisterHandler contract: init-time only).
+var (
+	// hCoreStep resumes a core's step loop (batch-budget yield, Start).
+	hCoreStep sim.HandlerID
+	// hIssueRead delivers a demand read to the backend at core-local time.
+	hIssueRead sim.HandlerID
+	// hIssueWB delivers a writeback. The wbReq recycles before the call:
+	// Write copies its arguments, and the accepted callback may re-enter
+	// the step loop and issue new writebacks that reuse the record.
+	hIssueWB sim.HandlerID
+)
+
+func init() {
+	hCoreStep = sim.RegisterHandler(func(_ uint64, p1, _ any) {
+		p1.(*Core).step()
+	})
+	hIssueRead = sim.RegisterHandler(func(_ uint64, p1, p2 any) {
+		p1.(*Core).backend.Read(p2.(*ReadReq))
+	})
+	hIssueWB = sim.RegisterHandler(func(_ uint64, p1, _ any) {
+		w := p1.(*wbReq)
+		c := w.core
+		addr, tenant, record := w.addr, w.tenant, w.record
+		w.next = c.wbFree
+		c.wbFree = w
+		c.backend.Write(addr, c.ID, tenant, record, c.wbAccept)
+	})
 }
 
 // Core is one simulated CPU core.
@@ -155,6 +203,11 @@ type Core struct {
 	stashIdx   uint64
 	stashValid bool
 
+	// Per-core pools and the shared writeback-accepted callback.
+	missFree *missEntry
+	wbFree   *wbReq
+	wbAccept func()
+
 	perInstr sim.Time
 	Stats    Stats
 
@@ -169,13 +222,57 @@ func New(eng *sim.Engine, id int, cfg Config, l1, l2, llc *cachesim.Cache, backe
 	if perInstr < 1 {
 		perInstr = 1
 	}
-	return &Core{
+	c := &Core{
 		ID: id, eng: eng, cfg: cfg,
 		l1: l1, l2: l2, llc: llc,
 		backend: backend, sched: sched,
 		wbCredits: cfg.WBCredits,
 		perInstr:  perInstr,
 	}
+	c.wbAccept = func() {
+		c.wbCredits++
+		if c.state == stWaitCredit {
+			c.state = stRunning
+			c.advanceTo(c.eng.Now())
+			c.step()
+		}
+	}
+	return c
+}
+
+// getMiss pops a pooled miss entry, binding its request callbacks on first
+// allocation so they survive every reuse.
+func (c *Core) getMiss() *missEntry {
+	e := c.missFree
+	if e == nil {
+		e = &missEntry{}
+		e.req.CoreID = c.ID
+		e.req.OnData = func() { c.onData(e) }
+		e.req.OnHint = func() { c.onHint(e) }
+		return e
+	}
+	c.missFree = e.next
+	e.next = nil
+	return e
+}
+
+func (c *Core) putMiss(e *missEntry) {
+	e.done, e.hinted, e.squashed = false, false, false
+	e.req.Squashed = false
+	e.next = c.missFree
+	c.missFree = e
+}
+
+func (c *Core) getWB(a mem.Addr, tenant int, record bool) *wbReq {
+	w := c.wbFree
+	if w == nil {
+		w = &wbReq{core: c}
+	} else {
+		c.wbFree = w.next
+		w.next = nil
+	}
+	w.addr, w.tenant, w.record = a, tenant, record
+	return w
 }
 
 // Now returns the core-local clock (>= engine time).
@@ -185,7 +282,7 @@ func (c *Core) Now() sim.Time { return c.time }
 // scheduler (free initial dispatch).
 func (c *Core) Start() {
 	if c.acquireThread() {
-		c.eng.At(c.time, c.step)
+		c.eng.AtH(c.time, hCoreStep, 0, c, nil)
 	}
 }
 
@@ -352,7 +449,7 @@ func (c *Core) step() {
 			}
 		}
 		if budget <= 0 {
-			c.eng.At(c.time, c.step)
+			c.eng.AtH(c.time, hCoreStep, 0, c, nil)
 			return
 		}
 		budget--
@@ -430,14 +527,15 @@ func (c *Core) load(a mem.Addr, idx uint64) {
 			return
 		}
 	}
-	e := &missEntry{instrIdx: idx, addr: a}
-	req := &ReadReq{Addr: a, CoreID: c.ID, Tenant: c.thread.Tenant, Record: c.thread.PastWarmup()}
-	req.OnData = func() { c.onData(e) }
-	req.OnHint = func() { c.onHint(e) }
-	e.req = req
+	e := c.getMiss()
+	e.instrIdx = idx
+	e.addr = a
+	e.completion = 0
+	e.req.Addr = a
+	e.req.Tenant = c.thread.Tenant
+	e.req.Record = c.thread.PastWarmup()
 	c.out = append(c.out, e)
-	issueAt := c.time
-	c.eng.At(issueAt, func() { c.backend.Read(req) })
+	c.eng.AtH(c.time, hIssueRead, 0, c, &e.req)
 }
 
 // store dirties the line where it hits; a full miss allocates in L1
@@ -511,16 +609,7 @@ func (c *Core) sendWriteback(a mem.Addr) {
 	if n := c.eng.Now(); n > issueAt {
 		issueAt = n
 	}
-	c.eng.At(issueAt, func() {
-		c.backend.Write(a, c.ID, tenant, record, func() {
-			c.wbCredits++
-			if c.state == stWaitCredit {
-				c.state = stRunning
-				c.advanceTo(c.eng.Now())
-				c.step()
-			}
-		})
-	})
+	c.eng.AtH(issueAt, hIssueWB, 0, c.getWB(a, tenant, record), nil)
 }
 
 func (c *Core) drainPendingWB() {
@@ -535,8 +624,12 @@ func (c *Core) drainPendingWB() {
 // --- miss completion and hints ---
 
 func (c *Core) popOldest() {
+	e := c.out[0]
 	copy(c.out, c.out[1:])
 	c.out = c.out[:len(c.out)-1]
+	// Retired means done: the data callback already fired, so nothing can
+	// touch the entry again.
+	c.putMiss(e)
 }
 
 func (c *Core) onData(e *missEntry) {
@@ -544,6 +637,7 @@ func (c *Core) onData(e *missEntry) {
 	e.completion = c.eng.Now()
 	if e.squashed {
 		c.removeZombie(e)
+		c.putMiss(e)
 		return
 	}
 	// Fill the hierarchy at data arrival (tags only).
@@ -558,15 +652,30 @@ func (c *Core) onData(e *missEntry) {
 }
 
 func (c *Core) onHint(e *missEntry) {
-	e.hinted = true
 	if e.squashed {
+		// This was the entry's only callback, so it can recycle — unless the
+		// FreeMSHROnSquash ablation parked it in zombies, where it keeps
+		// holding its MSHR slot exactly as before.
+		if !c.inZombies(e) {
+			c.putMiss(e)
+		}
 		return
 	}
+	e.hinted = true
 	if c.state == stWaitMem && len(c.out) > 0 && c.out[0] == e {
 		c.state = stRunning
 		c.advanceTo(c.eng.Now())
 		c.step()
 	}
+}
+
+func (c *Core) inZombies(e *missEntry) bool {
+	for _, z := range c.zombies {
+		if z == e {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Core) removeZombie(e *missEntry) {
@@ -588,13 +697,21 @@ func (c *Core) ctxSwitch(oldest *missEntry) {
 	c.thread.HintSwitches++
 	c.accrueRuntime()
 
+	// The rewind target must be read before the squash loop below recycles
+	// oldest (it is hinted, so its callback has fired).
+	rewindIdx := oldest.instrIdx
+
 	// Squash all in-flight requests. With FreeMSHROnSquash (default) their
 	// MSHRs free immediately; otherwise un-hinted requests hold MSHR slots
-	// until their data arrives (the ablation of §III-A).
+	// until their data arrives (the ablation of §III-A). Entries whose only
+	// callback has already fired (done or hinted) recycle here; the rest
+	// recycle when their pending callback arrives and sees the squash.
 	for _, e := range c.out {
 		e.squashed = true
 		e.req.Squashed = true
-		if !e.done && !e.hinted && !c.cfg.FreeMSHROnSquash {
+		if e.done || e.hinted {
+			c.putMiss(e)
+		} else if !c.cfg.FreeMSHROnSquash {
 			c.zombies = append(c.zombies, e)
 		}
 	}
@@ -606,8 +723,8 @@ func (c *Core) ctxSwitch(oldest *missEntry) {
 	// A stashed dependent load is younger than the faulting load, so the
 	// rewind re-delivers it too.
 	c.stashValid = false
-	c.thread.Replay.RewindTo(oldest.instrIdx)
-	c.fetchIdx = oldest.instrIdx
+	c.thread.Replay.RewindTo(rewindIdx)
+	c.fetchIdx = rewindIdx
 
 	if c.cfg.FlushL1OnSwitch {
 		c.l1.FlushAll(func(v cachesim.Victim) {

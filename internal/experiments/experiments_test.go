@@ -645,3 +645,84 @@ func TestMixEditRecoldsOnlyMixEntries(t *testing.T) {
 		t.Fatalf("edited mix re-simulated %d runs, want %d (mixed runs + the re-budgeted tenant's solos)", sims, want)
 	}
 }
+
+// TestTenantRowsExtendFigures pins the per-tenant extension of
+// Figs. 14, 16, and 17: with Options.TenantRows set, every
+// (mix, tenant) pair contributes a "mix/tenant" row carrying the
+// figure's own metric — normalized completion with the Base-CSSD
+// column at exactly 1.000 (fig14), a request breakdown that still
+// sums to 100% (fig16), and one AMAT row per design (fig17) — and
+// with it unset (the default) the tables carry no tenant rows at all,
+// so the paper's table set stays byte-identical.
+func TestTenantRowsExtendFigures(t *testing.T) {
+	o := tinyOptions()
+	o.SweepInstr = 24_000
+	o.Mixes = []string{"graph-vs-log"}
+	o.TenantRows = true
+	h := NewHarness(o)
+
+	m, err := tenant.ByName("graph-vs-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTen := len(m.Tenants)
+	nSolo := len(o.Workloads)
+	const prefix = "graph-vs-log/"
+
+	fig14 := h.Fig14()
+	if want := nSolo + 1 + nTen; len(fig14.Rows) != want { // solo rows, geo.mean, tenant rows
+		t.Fatalf("fig14 has %d rows, want %d", len(fig14.Rows), want)
+	}
+	baseCol := -1
+	for i, hd := range fig14.Header {
+		if hd == string(system.BaseCSSD) {
+			baseCol = i
+		}
+	}
+	for _, row := range fig14.Rows[nSolo+1:] {
+		if !strings.HasPrefix(row[0], prefix) {
+			t.Errorf("fig14 tenant row named %q, want %s*", row[0], prefix)
+		}
+		if row[baseCol] != "1.000" {
+			t.Errorf("fig14 %s: Base-CSSD column %q; each tenant normalizes to its own base run", row[0], row[baseCol])
+		}
+	}
+
+	fig16 := h.Fig16()
+	if want := nSolo + nTen; len(fig16.Rows) != want {
+		t.Fatalf("fig16 has %d rows, want %d", len(fig16.Rows), want)
+	}
+	for _, row := range fig16.Rows[nSolo:] {
+		if !strings.HasPrefix(row[0], prefix) {
+			t.Errorf("fig16 tenant row named %q, want %s*", row[0], prefix)
+		}
+		sum := 0.0
+		for _, c := range row[1:] {
+			sum += parse(t, c)
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("fig16 %s: tenant breakdown sums to %.1f%%", row[0], sum)
+		}
+	}
+
+	fig17 := h.Fig17()
+	soloRows := nSolo * len(fig17Variants)
+	if want := soloRows + nTen*len(fig17Variants); len(fig17.Rows) != want {
+		t.Fatalf("fig17 has %d rows, want %d", len(fig17.Rows), want)
+	}
+	for _, row := range fig17.Rows[soloRows:] {
+		if !strings.HasPrefix(row[0], prefix) {
+			t.Errorf("fig17 tenant row named %q, want %s*", row[0], prefix)
+		}
+		if amat := parse(t, row[2]); amat <= 0 {
+			t.Errorf("fig17 %s/%s: AMAT %q not positive", row[0], row[1], row[2])
+		}
+	}
+
+	// Unset (the default): exactly the paper's rows, no tenant rows.
+	o.TenantRows = false
+	plain := NewHarness(o)
+	if tab := plain.Fig16(); len(tab.Rows) != nSolo {
+		t.Fatalf("fig16 without TenantRows has %d rows, want %d", len(tab.Rows), nSolo)
+	}
+}

@@ -325,6 +325,7 @@ func (h *Harness) fig14(p *Plan) func() Table {
 		}
 		rows = append(rows, r)
 	}
+	mixes := h.planMixPoints(p, system.AllVariants)
 	return func() Table {
 		t := Table{
 			ID:     "fig14",
@@ -347,6 +348,27 @@ func (h *Harness) fig14(p *Plan) func() Table {
 			geo = append(geo, f3(1/stats.GeoMean(speedups[v])))
 		}
 		t.Rows = append(t.Rows, geo)
+		// Per-tenant rows: each tenant's completion time under every
+		// variant, normalized to that same tenant's completion under the
+		// Base-CSSD mixed run — co-runner interference included on both
+		// sides, so the column reads exactly like the solo rows above.
+		baseIdx := 0
+		for i, v := range system.AllVariants {
+			if v == system.BaseCSSD {
+				baseIdx = i
+			}
+		}
+		for _, pt := range mixes {
+			base := pt.tenants(baseIdx)
+			for ti := range base {
+				row := []string{pt.rowName(base[ti])}
+				for vi := range system.AllVariants {
+					tr := pt.tenants(vi)[ti]
+					row = append(row, f3(float64(tr.ExecTime)/float64(base[ti].ExecTime)))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
 		t.Note = fmt.Sprintf("SkyByte-Full mean speedup over Base-CSSD: %.2fx (paper: 6.11x); of DRAM-Only: %.0f%% (paper: 75%%)",
 			stats.GeoMean(speedups[system.SkyByteFull]),
 			100*stats.GeoMean(speedups[system.SkyByteFull])/stats.GeoMean(speedups[system.DRAMOnly]))
@@ -407,6 +429,7 @@ func (h *Harness) fig16(p *Plan) func() Table {
 	for _, spec := range h.specs() {
 		rows = append(rows, row{spec.Name, p.Run(spec, system.SkyByteFull, h.Opt.TotalInstr, 0, "")})
 	}
+	mixes := h.planMixPoints(p, []system.Variant{system.SkyByteFull})
 	return func() Table {
 		t := Table{
 			ID:     "fig16",
@@ -420,6 +443,18 @@ func (h *Harness) fig16(p *Plan) func() Table {
 				row = append(row, pct(res.Breakdown.Frac(c)))
 			}
 			t.Rows = append(t.Rows, row)
+		}
+		// Per-tenant rows: where each tenant's own requests were served
+		// while co-located — tenants attribute requests to themselves, so
+		// every row still sums to 100%.
+		for _, pt := range mixes {
+			for _, tr := range pt.tenants(0) {
+				row := []string{pt.rowName(tr)}
+				for c := stats.HostRW; c <= stats.SSDWrite; c++ {
+					row = append(row, pct(tr.Breakdown.Frac(c)))
+				}
+				t.Rows = append(t.Rows, row)
+			}
 		}
 		return t
 	}
@@ -445,24 +480,38 @@ func (h *Harness) fig17(p *Plan) func() Table {
 		}
 		rows = append(rows, r)
 	}
+	mixes := h.planMixPoints(p, fig17Variants)
 	return func() Table {
 		t := Table{
 			ID:     "fig17",
 			Title:  "AMAT (ns) and component breakdown",
 			Header: []string{"workload", "design", "AMAT", "host", "protocol", "indexing", "ssdDRAM", "flash"},
 		}
+		amatRow := func(name string, v system.Variant, a stats.AMAT) []string {
+			return []string{
+				name, string(v),
+				fmt.Sprintf("%.0f", a.Mean().Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATHostDRAM).Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATCXLProtocol).Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATIndexing).Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATSSDDRAM).Nanoseconds()),
+				fmt.Sprintf("%.0f", a.MeanOf(stats.AMATFlash).Nanoseconds()),
+			}
+		}
 		for _, r := range rows {
 			for i, v := range fig17Variants {
-				a := r.runs[i].Result().AMAT
-				t.Rows = append(t.Rows, []string{
-					r.name, string(v),
-					fmt.Sprintf("%.0f", a.Mean().Nanoseconds()),
-					fmt.Sprintf("%.0f", a.MeanOf(stats.AMATHostDRAM).Nanoseconds()),
-					fmt.Sprintf("%.0f", a.MeanOf(stats.AMATCXLProtocol).Nanoseconds()),
-					fmt.Sprintf("%.0f", a.MeanOf(stats.AMATIndexing).Nanoseconds()),
-					fmt.Sprintf("%.0f", a.MeanOf(stats.AMATSSDDRAM).Nanoseconds()),
-					fmt.Sprintf("%.0f", a.MeanOf(stats.AMATFlash).Nanoseconds()),
-				})
+				t.Rows = append(t.Rows, amatRow(r.name, v, r.runs[i].Result().AMAT))
+			}
+		}
+		// Per-tenant rows: each tenant's demand-access AMAT while
+		// co-located, grouped like the solo rows (tenant outer, design
+		// inner).
+		for _, pt := range mixes {
+			for ti := range pt.mix.Tenants {
+				for vi, v := range fig17Variants {
+					tr := pt.tenants(vi)[ti]
+					t.Rows = append(t.Rows, amatRow(pt.rowName(tr), v, tr.AMAT))
+				}
 			}
 		}
 		return t

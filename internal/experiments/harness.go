@@ -45,7 +45,14 @@ type Options struct {
 	// built-in pairings plus anything registered via tenant.Register/
 	// RegisterFile). Names resolve through tenant.ByName.
 	Mixes []string
-	Seed  uint64
+	// TenantRows extends Figs. 14, 16, and 17 with per-tenant rows: each
+	// mix in Mixes is additionally simulated under the figure's variant
+	// set and every tenant contributes a "mix/tenant" row built from its
+	// own Result.Tenants slice (completion time, request breakdown,
+	// AMAT). Off by default so the paper's tables stay the paper's; the
+	// mixed runs are shared with figmix where the design points coincide.
+	TenantRows bool
+	Seed       uint64
 	// Parallelism bounds the simulations in flight at once
 	// (0 = GOMAXPROCS, 1 = fully sequential). Tables are identical at
 	// any setting; only wall-clock changes.

@@ -125,6 +125,40 @@ type Array struct {
 	data      map[uint64][]byte
 }
 
+// Typed completion handlers: A0 carries the channel index, P1 the array,
+// P2 the optional caller callback — so steady-state (non-TrackData) flash
+// traffic schedules without allocating. Registered at init per the
+// sim.RegisterHandler contract.
+var (
+	hReadDone  sim.HandlerID
+	hProgDone  sim.HandlerID
+	hEraseDone sim.HandlerID
+)
+
+func init() {
+	hReadDone = sim.RegisterHandler(func(a0 uint64, p1, p2 any) {
+		a := p1.(*Array)
+		a.chans[a0].counts.Reads--
+		if p2 != nil {
+			p2.(func(data []byte))(nil)
+		}
+	})
+	hProgDone = sim.RegisterHandler(func(a0 uint64, p1, p2 any) {
+		a := p1.(*Array)
+		a.chans[a0].counts.Programs--
+		if p2 != nil {
+			p2.(func())()
+		}
+	})
+	hEraseDone = sim.RegisterHandler(func(a0 uint64, p1, p2 any) {
+		a := p1.(*Array)
+		a.chans[a0].counts.Erases--
+		if p2 != nil {
+			p2.(func())()
+		}
+	})
+}
+
 // New builds an array on the given engine.
 func New(eng *sim.Engine, geo Geometry, tim Timing) *Array {
 	a := &Array{Eng: eng, Geo: geo, Tim: tim, BusPerPage: DefaultBusPerPage,
@@ -206,12 +240,22 @@ func (a *Array) Read(ppa uint64, done func(data []byte)) sim.Time {
 	c.busFree = end
 	a.stats.BusyTime += a.Tim.Read
 
-	a.Eng.At(end, func() {
-		c.counts.Reads--
-		if done != nil {
-			done(snap)
-		}
-	})
+	if a.TrackData {
+		// The payload snapshot must ride in a closure; the typed fast path
+		// below only covers the nil-payload perf configuration.
+		a.Eng.At(end, func() {
+			c.counts.Reads--
+			if done != nil {
+				done(snap)
+			}
+		})
+		return end
+	}
+	var cb any
+	if done != nil {
+		cb = done
+	}
+	a.Eng.AtH(end, hReadDone, uint64(ch), a, cb)
 	return end
 }
 
@@ -237,12 +281,11 @@ func (a *Array) Program(ppa uint64, data []byte, done func()) sim.Time {
 	c.dies[die] = end
 	a.stats.BusyTime += a.Tim.Program
 
-	a.Eng.At(end, func() {
-		c.counts.Programs--
-		if done != nil {
-			done()
-		}
-	})
+	var cb any
+	if done != nil {
+		cb = done
+	}
+	a.Eng.AtH(end, hProgDone, uint64(ch), a, cb)
 	return end
 }
 
@@ -267,12 +310,11 @@ func (a *Array) Erase(block uint32, done func()) sim.Time {
 	c.dies[die] = end
 	a.stats.BusyTime += a.Tim.Erase
 
-	a.Eng.At(end, func() {
-		c.counts.Erases--
-		if done != nil {
-			done()
-		}
-	})
+	var cb any
+	if done != nil {
+		cb = done
+	}
+	a.Eng.AtH(end, hEraseDone, uint64(ch), a, cb)
 	return end
 }
 

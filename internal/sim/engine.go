@@ -2,21 +2,97 @@ package sim
 
 // Engine is a deterministic discrete-event simulator.
 //
-// Events are closures scheduled for an absolute time. Events scheduled for
-// the same instant fire in the order they were scheduled. The zero value is
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break on a global sequence number). The zero value is
 // ready to use.
+//
+// The engine is allocation-free on the hot path: event records are pooled
+// on an intrusive free-list and recycled as they fire, so steady-state
+// scheduling performs no heap allocation. Two scheduling forms exist:
+//
+//   - At/After take a plain func() — the closure itself is whatever the
+//     caller built, but the event record carrying it is pooled;
+//   - AtH/AfterH take a HandlerID plus inlined payload words (one uint64
+//     and two pointer-shaped any slots), so hot callers can pre-register a
+//     typed handler and schedule with zero allocation end to end (storing
+//     pointers and funcs in an any does not allocate).
+//
+// Internally the queue is two-level: a bucketed calendar ring absorbs the
+// near future (the common "a few ns/µs ahead" case) with O(1) same- or
+// ascending-timestamp appends, and a binary heap holds everything beyond
+// the ring's horizon. The pop path compares the two fronts by (time, seq),
+// so ordering semantics are identical to a single heap.
 type Engine struct {
-	now    Time
-	heap   []event
-	seq    uint64
-	fired  uint64
-	inStep bool
+	now   Time
+	seq   uint64
+	fired uint64
+
+	// free is the intrusive free-list of recycled event records.
+	free *Event
+
+	// Calendar ring: buckets cover [base, base+horizon) in bucketWidth
+	// slices; every live calendar event satisfies base <= at < base+horizon
+	// (no lap ambiguity). base advances as empty buckets are skipped and
+	// re-anchors to now whenever the calendar drains.
+	base     Time
+	calCount int
+	buckets  [numBuckets]bucket
+
+	// heap holds events at or beyond the calendar horizon, ordered by
+	// (at, seq).
+	heap []*Event
 }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// Calendar-queue geometry: 2048 buckets of 2^12 ps (~4.1 ns) cover a
+// horizon of ~8.4 µs — wide enough that cycle-, DRAM-, link-, and
+// ULL-flash-read-scale schedules all take the O(1) path; only genuinely
+// far-future events (tProg/tBERS, scan timers) fall through to the heap.
+const (
+	bucketShift = 12
+	bucketWidth = Time(1) << bucketShift
+	numBuckets  = 2048
+	bucketMask  = numBuckets - 1
+	horizon     = bucketWidth * numBuckets
+)
+
+// bucket is one calendar slot: an intrusively linked list sorted by
+// (at, seq), with a tail pointer so in-order arrivals append in O(1).
+type bucket struct {
+	head, tail *Event
+}
+
+// Event is one pooled event record. Payload words A0/P1/P2 are interpreted
+// by the event's handler; records are recycled after dispatch, so handlers
+// must not retain the *Event.
+type Event struct {
+	next *Event // bucket chain or free-list link
+	at   Time
+	seq  uint64
+	h    HandlerID
+	fn   func() // closure form (At/After); nil for typed events
+
+	// A0 is an inlined integer payload word.
+	A0 uint64
+	// P1, P2 are pointer-shaped payload slots (pointers, funcs); storing
+	// such values in an any does not allocate.
+	P1, P2 any
+}
+
+// HandlerID names a typed-event handler registered with RegisterHandler.
+type HandlerID uint32
+
+// handlerTab is the global dispatch table. It is append-only and written
+// exclusively from package init functions (RegisterHandler's contract), so
+// concurrent engines on different goroutines read it without synchronization.
+var handlerTab []func(a0 uint64, p1, p2 any)
+
+// RegisterHandler registers a typed-event handler and returns its ID for
+// AtH/AfterH. It must only be called during package initialization (from
+// package-level var initializers or init functions): the table is read
+// lock-free by every engine once simulations start.
+func RegisterHandler(fn func(a0 uint64, p1, p2 any)) HandlerID {
+	handlerTab = append(handlerTab, fn)
+	return HandlerID(len(handlerTab) - 1)
 }
 
 // Now returns the current simulated time.
@@ -27,7 +103,27 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events not yet executed.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.calCount + len(e.heap) }
+
+// alloc pops a pooled record or grows the pool by one.
+func (e *Engine) alloc() *Event {
+	ev := e.free
+	if ev == nil {
+		return &Event{}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// recycle clears payload references and returns the record to the pool.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.P1 = nil
+	ev.P2 = nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics: it would silently corrupt causality.
@@ -35,30 +131,171 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
+	ev := e.alloc()
+	ev.at = t
 	e.seq++
-	e.heap = append(e.heap, event{at: t, seq: e.seq, fn: fn})
-	e.up(len(e.heap) - 1)
+	ev.seq = e.seq
+	ev.fn = fn
+	e.schedule(ev)
 }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// AtH schedules a typed event: at time t, handler h runs with the inlined
+// payload (a0, p1, p2). This is the zero-allocation form — the record is
+// pooled and pointer-shaped payloads do not box.
+func (e *Engine) AtH(t Time, h HandlerID, a0 uint64, p1, p2 any) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := e.alloc()
+	ev.at = t
+	e.seq++
+	ev.seq = e.seq
+	ev.h = h
+	ev.A0 = a0
+	ev.P1 = p1
+	ev.P2 = p2
+	e.schedule(ev)
+}
+
+// AfterH is AtH relative to the current time.
+func (e *Engine) AfterH(d Time, h HandlerID, a0 uint64, p1, p2 any) {
+	e.AtH(e.now+d, h, a0, p1, p2)
+}
+
+// AtBatch schedules every fn at the same instant t, preserving slice order.
+// Because the batch shares one timestamp and sequence numbers ascend, each
+// record takes the calendar tail-append fast path (or a straight heap push
+// beyond the horizon) — there is no per-event sift or list walk.
+func (e *Engine) AtBatch(t Time, fns []func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	for _, fn := range fns {
+		ev := e.alloc()
+		ev.at = t
+		e.seq++
+		ev.seq = e.seq
+		ev.fn = fn
+		e.schedule(ev)
+	}
+}
+
+// schedule routes a ready record into the calendar ring or the far heap.
+func (e *Engine) schedule(ev *Event) {
+	if e.calCount == 0 {
+		// Empty calendar: re-anchor the ring at the current time so the
+		// horizon always covers the near future relative to now.
+		e.base = e.now &^ (bucketWidth - 1)
+	}
+	t := ev.at
+	if t-e.base >= horizon {
+		e.heapPush(ev)
+		return
+	}
+	b := &e.buckets[(t>>bucketShift)&bucketMask]
+	e.calCount++
+	if b.tail == nil {
+		b.head, b.tail = ev, ev
+		return
+	}
+	if b.tail.at <= t {
+		// Same-timestamp / ascending fast path: FIFO order is the append
+		// order because seq is globally increasing.
+		b.tail.next = ev
+		b.tail = ev
+		return
+	}
+	// Rare out-of-order arrival within a bucket: insert before the first
+	// record scheduled strictly later. Equal timestamps keep FIFO order
+	// because existing records hold smaller sequence numbers.
+	if b.head.at > t {
+		ev.next = b.head
+		b.head = ev
+		return
+	}
+	prev := b.head
+	for prev.next != nil && prev.next.at <= t {
+		prev = prev.next
+	}
+	ev.next = prev.next
+	prev.next = ev
+	if ev.next == nil {
+		b.tail = ev
+	}
+}
+
+// popNext removes and returns the earliest pending record by (at, seq),
+// or nil when the engine is idle.
+func (e *Engine) popNext() *Event {
+	if e.calCount == 0 {
+		return e.heapPop()
+	}
+	idx := int(e.base>>bucketShift) & bucketMask
+	for e.buckets[idx].head == nil {
+		// Skipping an empty bucket permanently advances the ring anchor,
+		// so subsequent scans start where this one left off.
+		idx = (idx + 1) & bucketMask
+		e.base += bucketWidth
+	}
+	cal := e.buckets[idx].head
+	if len(e.heap) > 0 {
+		if top := e.heap[0]; top.at < cal.at || (top.at == cal.at && top.seq < cal.seq) {
+			return e.heapPop()
+		}
+	}
+	b := &e.buckets[idx]
+	b.head = cal.next
+	if b.head == nil {
+		b.tail = nil
+	}
+	cal.next = nil
+	e.calCount--
+	return cal
+}
+
+// peekAt reports the timestamp of the earliest pending record.
+func (e *Engine) peekAt() (Time, bool) {
+	if e.calCount == 0 {
+		if len(e.heap) == 0 {
+			return 0, false
+		}
+		return e.heap[0].at, true
+	}
+	idx := int(e.base>>bucketShift) & bucketMask
+	for e.buckets[idx].head == nil {
+		idx = (idx + 1) & bucketMask
+		e.base += bucketWidth
+	}
+	at := e.buckets[idx].head.at
+	if len(e.heap) > 0 && e.heap[0].at < at {
+		at = e.heap[0].at
+	}
+	return at, true
+}
+
 // Step executes the single earliest pending event and reports whether one
 // existed.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	ev := e.popNext()
+	if ev == nil {
 		return false
-	}
-	ev := e.heap[0]
-	n := len(e.heap) - 1
-	e.heap[0] = e.heap[n]
-	e.heap = e.heap[:n]
-	if n > 0 {
-		e.down(0)
 	}
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	if fn := ev.fn; fn != nil {
+		e.recycle(ev)
+		fn()
+		return true
+	}
+	h, a0, p1, p2 := ev.h, ev.A0, ev.P1, ev.P2
+	e.recycle(ev)
+	handlerTab[h](a0, p1, p2)
 	return true
 }
 
@@ -71,7 +308,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline (if it has not already passed it).
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+	for {
+		at, ok := e.peekAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -79,17 +320,21 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-func (e *Engine) less(i, j int) bool {
-	if e.heap[i].at != e.heap[j].at {
-		return e.heap[i].at < e.heap[j].at
+// --- far-future fallback heap ---
+
+func (e *Engine) heapLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return e.heap[i].seq < e.heap[j].seq
+	return a.seq < b.seq
 }
 
-func (e *Engine) up(i int) {
+func (e *Engine) heapPush(ev *Event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !e.less(i, p) {
+		if !e.heapLess(e.heap[i], e.heap[p]) {
 			break
 		}
 		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
@@ -97,15 +342,30 @@ func (e *Engine) up(i int) {
 	}
 }
 
-func (e *Engine) down(i int) {
+func (e *Engine) heapPop() *Event {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heapDown(0)
+	}
+	return ev
+}
+
+func (e *Engine) heapDown(i int) {
 	n := len(e.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < n && e.less(l, m) {
+		if l < n && e.heapLess(e.heap[l], e.heap[m]) {
 			m = l
 		}
-		if r < n && e.less(r, m) {
+		if r < n && e.heapLess(e.heap[r], e.heap[m]) {
 			m = r
 		}
 		if m == i {

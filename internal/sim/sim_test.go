@@ -191,3 +191,162 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// hTestCollect is a typed test handler: appends A0 to the []uint64
+// pointed to by P1. Registered at init per the RegisterHandler contract.
+var hTestCollect HandlerID
+
+func init() {
+	hTestCollect = RegisterHandler(func(a0 uint64, p1, p2 any) {
+		s := p1.(*[]uint64)
+		*s = append(*s, a0)
+	})
+}
+
+// TestEngineAtBatchFIFO: a batch scheduled at one instant fires in
+// slice order, interleaved FIFO with events scheduled around it.
+func TestEngineAtBatchFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(42, func() { got = append(got, 0) })
+	e.AtBatch(42, []func(){
+		func() { got = append(got, 1) },
+		func() { got = append(got, 2) },
+		func() { got = append(got, 3) },
+	})
+	e.At(42, func() { got = append(got, 4) })
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("batch tie-break not FIFO: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d of 5", len(got))
+	}
+}
+
+// TestEngineTypedHandlerFIFO: typed (AtH) and closure (At) events at
+// one instant share the sequence space, so mixing the two forms keeps
+// same-instant FIFO.
+func TestEngineTypedHandlerFIFO(t *testing.T) {
+	var e Engine
+	var got []uint64
+	e.AtH(10, hTestCollect, 0, &got, nil)
+	e.At(10, func() { got = append(got, 1) })
+	e.AtH(10, hTestCollect, 2, &got, nil)
+	e.Run()
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("typed/closure tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+// TestEngineCalendarHeapCrossover: events straddling the calendar
+// horizon (near-future bucketed queue vs far-future heap) still fire
+// in global (time, seq) order — including FIFO ties between an event
+// that sat in the heap and one scheduled later into the calendar for
+// the same instant.
+func TestEngineCalendarHeapCrossover(t *testing.T) {
+	const far = Time(horizon) + 100 // beyond the calendar horizon at t=0
+	var e Engine
+	var got []uint64
+	e.AtH(far, hTestCollect, 0, &got, nil) // heap resident
+	e.At(far-50, func() {
+		// Now inside the horizon of `far`: calendar resident, same
+		// instant as the heap event but a later sequence number.
+		e.AtH(far, hTestCollect, 1, &got, nil)
+		e.AtH(far+10, hTestCollect, 2, &got, nil)
+	})
+	e.AtH(5, hTestCollect, 99, &got, nil) // near event fires first
+	e.Run()
+	want := []uint64{99, 0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("crossover order got %v, want %v", got, want)
+		}
+	}
+	if e.Now() != far+10 {
+		t.Fatalf("Now = %v, want %v", e.Now(), far+10)
+	}
+}
+
+// TestEnginePoolReuse: after Run drains, the event records are on the
+// free list and a steady-state schedule/step cycle allocates nothing —
+// the property the whole inner-loop rebuild exists for.
+func TestEnginePoolReuse(t *testing.T) {
+	var e Engine
+	var sink []uint64
+	for i := 0; i < 64; i++ {
+		e.AtH(Time(i), hTestCollect, uint64(i), &sink, nil)
+	}
+	e.Run()
+	if e.free == nil {
+		t.Fatal("drained engine has an empty free list")
+	}
+	free := 0
+	for ev := e.free; ev != nil; ev = ev.next {
+		free++
+	}
+	if free != 64 {
+		t.Fatalf("free list holds %d records, want 64", free)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.AtH(e.Now()+Time(i), hTestCollect, uint64(i), &sink, nil)
+		}
+		for e.Pending() > 0 {
+			e.Step()
+			sink = sink[:0]
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state typed scheduling allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestEngineDeterminism: two engines fed the identical schedule report
+// identical Fired counts and fire orders — the probe the byte-identity
+// suite leans on, checked here at the engine level.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() (uint64, []uint64) {
+		var e Engine
+		var got []uint64
+		rng := rand.New(rand.NewSource(99))
+		var schedule func(depth int)
+		seq := uint64(0)
+		schedule = func(depth int) {
+			at := e.Now() + Time(rng.Intn(int(horizon)*2))
+			id := seq
+			seq++
+			e.At(at, func() {
+				got = append(got, id)
+				if depth < 3 && rng.Intn(4) == 0 {
+					schedule(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < 500; i++ {
+			schedule(0)
+		}
+		e.Run()
+		return e.Fired(), got
+	}
+	f1, g1 := run()
+	f2, g2 := run()
+	if f1 != f2 {
+		t.Fatalf("Fired() diverged: %d vs %d", f1, f2)
+	}
+	if len(g1) != len(g2) {
+		t.Fatalf("fire orders diverged in length: %d vs %d", len(g1), len(g2))
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("fire orders diverged at %d: %d vs %d", i, g1[i], g2[i])
+		}
+	}
+}

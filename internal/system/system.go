@@ -27,13 +27,15 @@ type MigrationStats struct {
 // Reentrancy: a System is single-threaded — its event engine and every
 // component it wires (cores, caches, scheduler, link, DRAMs, flash,
 // FTL, controller, migration state) live on the owning instance, and no
-// package in the simulator keeps mutable package-level state (the only
-// package-level vars anywhere are immutable presets such as
-// flash.TimingULL and system.AllVariants). Distinct System instances
-// may therefore be constructed and Run concurrently from different
-// goroutines; internal/runner relies on this to execute campaign design
-// points in parallel. A single instance must not be shared across
-// goroutines.
+// package in the simulator keeps mutable package-level state that runs
+// could observe differently: the only package-level vars anywhere are
+// immutable presets (flash.TimingULL, system.AllVariants), the sim
+// handler table (append-only, written exclusively at package init), and
+// the trace zeta memo (a concurrency-safe cache of a pure function).
+// Distinct System instances may therefore be constructed and Run
+// concurrently from different goroutines; internal/runner relies on
+// this to execute campaign design points in parallel. A single instance
+// must not be shared across goroutines.
 type System struct {
 	Eng sim.Engine
 	cfg Config
@@ -80,6 +82,208 @@ type System struct {
 	tenantReadLat []stats.LatencyHist
 	tenantHints   []uint64
 	tenantDone    []sim.Time
+
+	// Transaction pools for the hot request paths (see the readTxn
+	// comment below).
+	readFree  *readTxn
+	writeFree *writeTxn
+	hostFree  *hostTxn
+}
+
+// readTxn carries one CXL demand read from link entry to data delivery.
+// Transactions are pooled: the continuation closures are bound once, at
+// first allocation, capturing the stable transaction pointer — so the
+// whole link→controller→link chain schedules without allocating. Exactly
+// one terminal continuation fires per transaction (the controller calls
+// either respond or hint, never both; forwarded promoted reads terminate
+// in hostFwd), and each terminal recycles the transaction before invoking
+// the outward callback, which may immediately start a new request that
+// reuses it.
+type readTxn struct {
+	next *readTxn
+	s    *System
+	req  *cpu.ReadReq
+	a    mem.Addr
+	lpa  uint64
+	t0   sim.Time
+	meta core.ReadMeta
+
+	atDevice   func()
+	hostFwd    func()
+	hintFn     func(sim.Time)
+	hintArrive func()
+	respondFn  func(core.ReadMeta)
+	dataArrive func()
+}
+
+func (s *System) getReadTxn() *readTxn {
+	x := s.readFree
+	if x != nil {
+		s.readFree = x.next
+		x.next = nil
+		return x
+	}
+	x = &readTxn{s: s}
+	x.atDevice = func() {
+		sys := x.s
+		// Re-check at device arrival: the page may have been promoted
+		// while the request was in flight (the PLB forwards such cases).
+		if _, ok := sys.promoted[x.lpa]; ok {
+			sys.link.ToHost(cxl.HeaderBytes, x.hostFwd)
+			return
+		}
+		var hint func(sim.Time)
+		if sys.cfg.CtxSwitchEnabled {
+			hint = x.hintFn
+		}
+		sys.ctrl.MemRd(cxlOffset(x.a), x.req.Record, x.respondFn, hint)
+	}
+	x.hostFwd = func() {
+		sys, req, a := x.s, x.req, x.a
+		sys.putReadTxn(x)
+		sys.hostRead(req, a)
+	}
+	x.hintFn = func(est sim.Time) {
+		sys := x.s
+		sys.hints++
+		if len(sys.tenantHints) > 0 {
+			sys.tenantHints[x.req.Tenant]++
+		}
+		sys.link.ToHost(cxl.HeaderBytes, x.hintArrive)
+	}
+	x.hintArrive = func() {
+		sys, onHint := x.s, x.req.OnHint
+		sys.putReadTxn(x)
+		onHint()
+	}
+	x.respondFn = func(meta core.ReadMeta) {
+		x.meta = meta
+		x.s.link.ToHost(cxl.DataBytes, x.dataArrive)
+	}
+	x.dataArrive = func() {
+		sys, req := x.s, x.req
+		if req.Record && !req.Squashed {
+			lat := sys.Eng.Now() - x.t0
+			m := &x.meta
+			proto := lat - m.Index - m.SSDDRAM - m.Flash
+			if proto < 0 {
+				proto = 0
+			}
+			sys.recordRead(req.Tenant, lat, m.Class, [5]sim.Time{0, proto, m.Index, m.SSDDRAM, m.Flash})
+			if m.Class == stats.SSDReadMiss {
+				sys.flashLat.Observe(m.Flash)
+			}
+		}
+		sys.putReadTxn(x)
+		req.OnData()
+	}
+	return x
+}
+
+func (s *System) putReadTxn(x *readTxn) {
+	x.req = nil
+	x.next = s.readFree
+	s.readFree = x
+}
+
+// writeTxn is readTxn's analogue for the CXL writeback path.
+type writeTxn struct {
+	next     *writeTxn
+	s        *System
+	a        mem.Addr
+	lpa      uint64
+	tenant   int
+	record   bool
+	accepted func()
+
+	atDevice func()
+	wrDone   func()
+}
+
+func (s *System) getWriteTxn() *writeTxn {
+	x := s.writeFree
+	if x != nil {
+		s.writeFree = x.next
+		x.next = nil
+		return x
+	}
+	x = &writeTxn{s: s}
+	x.atDevice = func() {
+		sys := x.s
+		if _, ok := sys.promoted[x.lpa]; ok {
+			a, tenant, record, accepted := x.a, x.tenant, x.record, x.accepted
+			sys.putWriteTxn(x)
+			sys.hostWrite(a, tenant, record, accepted)
+			return
+		}
+		sys.ctrl.MemWr(cxlOffset(x.a), nil, x.record, x.tenant, x.wrDone)
+	}
+	x.wrDone = func() {
+		sys, accepted := x.s, x.accepted
+		if x.record {
+			sys.recordClass(x.tenant, stats.SSDWrite)
+		}
+		sys.putWriteTxn(x)
+		// Credit returns to the host over the response channel.
+		sys.link.ToHost(cxl.HeaderBytes, accepted)
+	}
+	return x
+}
+
+func (s *System) putWriteTxn(x *writeTxn) {
+	x.accepted = nil
+	x.next = s.writeFree
+	s.writeFree = x
+}
+
+// hostTxn covers both host-DRAM request shapes; a given use fires exactly
+// one of the two bound continuations (DRAM invokes its done callback once).
+type hostTxn struct {
+	next     *hostTxn
+	s        *System
+	req      *cpu.ReadReq
+	t0       sim.Time
+	tenant   int
+	record   bool
+	accepted func()
+
+	rdDone func()
+	wrDone func()
+}
+
+func (s *System) getHostTxn() *hostTxn {
+	x := s.hostFree
+	if x != nil {
+		s.hostFree = x.next
+		x.next = nil
+		return x
+	}
+	x = &hostTxn{s: s}
+	x.rdDone = func() {
+		sys, req := x.s, x.req
+		if req.Record && !req.Squashed {
+			lat := sys.Eng.Now() - x.t0
+			sys.recordRead(req.Tenant, lat, stats.HostRW, [5]sim.Time{lat, 0, 0, 0, 0})
+		}
+		sys.putHostTxn(x)
+		req.OnData()
+	}
+	x.wrDone = func() {
+		sys, accepted := x.s, x.accepted
+		if x.record {
+			sys.recordClass(x.tenant, stats.HostRW)
+		}
+		sys.putHostTxn(x)
+		accepted()
+	}
+	return x
+}
+
+func (s *System) putHostTxn(x *hostTxn) {
+	x.req = nil
+	x.accepted = nil
+	x.next = s.hostFree
+	s.hostFree = x
 }
 
 // TenantInfo names one tenant group of a multi-tenant run: the group
@@ -281,41 +485,9 @@ func (s *System) Read(req *cpu.ReadReq) {
 		s.astriRead(req, a)
 		return
 	}
-	t0 := s.Eng.Now()
-	s.link.ToDevice(cxl.HeaderBytes, func() {
-		// Re-check at device arrival: the page may have been promoted
-		// while the request was in flight (the PLB forwards such cases).
-		if _, ok := s.promoted[lpa]; ok {
-			s.link.ToHost(cxl.HeaderBytes, func() { s.hostRead(req, a) })
-			return
-		}
-		var hint func(sim.Time)
-		if s.cfg.CtxSwitchEnabled {
-			hint = func(est sim.Time) {
-				s.hints++
-				if len(s.tenantHints) > 0 {
-					s.tenantHints[req.Tenant]++
-				}
-				s.link.ToHost(cxl.HeaderBytes, func() { req.OnHint() })
-			}
-		}
-		s.ctrl.MemRd(cxlOffset(a), req.Record, func(meta core.ReadMeta) {
-			s.link.ToHost(cxl.DataBytes, func() {
-				if req.Record && !req.Squashed {
-					lat := s.Eng.Now() - t0
-					proto := lat - meta.Index - meta.SSDDRAM - meta.Flash
-					if proto < 0 {
-						proto = 0
-					}
-					s.recordRead(req.Tenant, lat, meta.Class, [5]sim.Time{0, proto, meta.Index, meta.SSDDRAM, meta.Flash})
-					if meta.Class == stats.SSDReadMiss {
-						s.flashLat.Observe(meta.Flash)
-					}
-				}
-				req.OnData()
-			})
-		}, hint)
-	})
+	x := s.getReadTxn()
+	x.req, x.a, x.lpa, x.t0 = req, a, lpa, s.Eng.Now()
+	s.link.ToDevice(cxl.HeaderBytes, x.atDevice)
 }
 
 // Write routes a cacheline writeback.
@@ -337,39 +509,21 @@ func (s *System) Write(a mem.Addr, coreID, tenant int, record bool, accepted fun
 		s.astriWrite(a, tenant, record, accepted)
 		return
 	}
-	s.link.ToDevice(cxl.DataBytes, func() {
-		if _, ok := s.promoted[lpa]; ok {
-			s.hostWrite(a, tenant, record, accepted)
-			return
-		}
-		s.ctrl.MemWr(cxlOffset(a), nil, record, tenant, func() {
-			if record {
-				s.recordClass(tenant, stats.SSDWrite)
-			}
-			// Credit returns to the host over the response channel.
-			s.link.ToHost(cxl.HeaderBytes, accepted)
-		})
-	})
+	x := s.getWriteTxn()
+	x.a, x.lpa, x.tenant, x.record, x.accepted = a, lpa, tenant, record, accepted
+	s.link.ToDevice(cxl.DataBytes, x.atDevice)
 }
 
 func (s *System) hostRead(req *cpu.ReadReq, a mem.Addr) {
-	t0 := s.Eng.Now()
-	s.hostDRAM.Access(a, false, func() {
-		if req.Record && !req.Squashed {
-			lat := s.Eng.Now() - t0
-			s.recordRead(req.Tenant, lat, stats.HostRW, [5]sim.Time{lat, 0, 0, 0, 0})
-		}
-		req.OnData()
-	})
+	x := s.getHostTxn()
+	x.req, x.t0 = req, s.Eng.Now()
+	s.hostDRAM.Access(a, false, x.rdDone)
 }
 
 func (s *System) hostWrite(a mem.Addr, tenant int, record bool, accepted func()) {
-	s.hostDRAM.Access(a, true, func() {
-		if record {
-			s.recordClass(tenant, stats.HostRW)
-		}
-		accepted()
-	})
+	x := s.getHostTxn()
+	x.tenant, x.record, x.accepted = tenant, record, accepted
+	s.hostDRAM.Access(a, true, x.wrDone)
 }
 
 // --- adaptive promotion (§III-C) ---

@@ -183,11 +183,11 @@ func decodeRecord(buf []byte, pos int) (Record, int, error) {
 
 // encodeHeader writes the fixed envelope both versions share: magic,
 // version, meta length + canonical JSON, thread count.
-func encodeHeader(b *bytes.Buffer, t *Trace, version uint32) error {
-	if len(t.Threads) == 0 {
+func encodeHeader(b *bytes.Buffer, m Meta, threads int, version uint32) error {
+	if threads == 0 {
 		return fmt.Errorf("trace: encode: no thread streams")
 	}
-	meta, err := json.Marshal(t.Meta)
+	meta, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("trace: encode meta: %w", err)
 	}
@@ -200,7 +200,7 @@ func encodeHeader(b *bytes.Buffer, t *Trace, version uint32) error {
 	put32(version)
 	put32(uint32(len(meta)))
 	b.Write(meta)
-	put32(uint32(len(t.Threads)))
+	put32(uint32(threads))
 	return nil
 }
 
@@ -214,41 +214,22 @@ func EncodeTrace(t *Trace) ([]byte, error) {
 // EncodeTraceVersion serializes t in a specific codec version — 1 for
 // the flat legacy layout, 2 for the block-compressed layout. Both are
 // canonical: the same Trace and version always yield the same bytes.
+// This is the batch face of StreamEncoder, so a materialized encode and
+// a streamed one produce identical files by construction.
 func EncodeTraceVersion(t *Trace, version int) ([]byte, error) {
-	switch version {
-	case 1:
-		return encodeTraceV1(t)
-	case 2:
-		return encodeTraceV2(t)
-	}
-	return nil, fmt.Errorf("trace: cannot encode codec version %d (this build writes v1 and v2)", version)
-}
-
-// encodeTraceV1 writes the flat v1 layout:
-//
-//	magic[8] | u32 version=1 | u32 metaLen | meta JSON |
-//	u32 threads | per thread: u64 count, records... | sha256[32]
-func encodeTraceV1(t *Trace) ([]byte, error) {
-	var b bytes.Buffer
-	if err := encodeHeader(&b, t, 1); err != nil {
+	e, err := NewStreamEncoder(version)
+	if err != nil {
 		return nil, err
 	}
-	var u64 [8]byte
-	var err error
-	rec := make([]byte, 0, 16)
 	for _, recs := range t.Threads {
-		binary.LittleEndian.PutUint64(u64[:], uint64(len(recs)))
-		b.Write(u64[:])
+		e.BeginThread()
 		for _, r := range recs {
-			if rec, err = appendRecord(rec[:0], r); err != nil {
+			if err := e.Append(r); err != nil {
 				return nil, err
 			}
-			b.Write(rec)
 		}
 	}
-	sum := sha256.Sum256(b.Bytes())
-	b.Write(sum[:])
-	return b.Bytes(), nil
+	return e.Finish(t.Meta)
 }
 
 // IsTrace reports whether data begins with the trace magic — the sniff

@@ -1,11 +1,6 @@
 package trace
 
 import (
-	"bytes"
-	"compress/flate"
-	"crypto/sha256"
-	"encoding/binary"
-	"fmt"
 	"hash/crc32"
 )
 
@@ -28,6 +23,7 @@ import (
 // compressed payload independently: a bit flip fails loudly at the
 // damaged block (naming it), not as a late inflate error or a silent
 // record change, and the sha256 trailer still seals the whole file.
+// StreamEncoder writes this layout; Reader replays it block by block.
 const (
 	// blockRawTarget is the uncompressed payload size a block is cut
 	// at. 64 KiB keeps per-stream replay memory small while giving
@@ -42,61 +38,3 @@ const (
 
 // crcTable is the polynomial both sides use for block seals.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
-// encodeTraceV2 writes the block-compressed v2 layout. Like v1 it is
-// canonical — the same Trace always yields the same bytes — because
-// block cuts depend only on the records and deflate is deterministic
-// for a given toolchain (WORKLOADS.md notes the toolchain caveat).
-func encodeTraceV2(t *Trace) ([]byte, error) {
-	var b bytes.Buffer
-	if err := encodeHeader(&b, t, 2); err != nil {
-		return nil, err
-	}
-	var u64 [8]byte
-	for _, recs := range t.Threads {
-		binary.LittleEndian.PutUint64(u64[:], uint64(len(recs)))
-		b.Write(u64[:])
-	}
-	var varBuf [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) { b.Write(varBuf[:binary.PutUvarint(varBuf[:], v)]) }
-	var comp bytes.Buffer
-	fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
-	if err != nil {
-		return nil, fmt.Errorf("trace: encode: %w", err)
-	}
-	raw := make([]byte, 0, blockRawTarget+16)
-	for ti, recs := range t.Threads {
-		pos := 0
-		for pos < len(recs) {
-			raw = raw[:0]
-			count := 0
-			for pos < len(recs) && len(raw) < blockRawTarget {
-				if raw, err = appendRecord(raw, recs[pos]); err != nil {
-					return nil, err
-				}
-				pos++
-				count++
-			}
-			comp.Reset()
-			fw.Reset(&comp)
-			if _, err := fw.Write(raw); err != nil {
-				return nil, fmt.Errorf("trace: encode: deflate: %w", err)
-			}
-			if err := fw.Close(); err != nil {
-				return nil, fmt.Errorf("trace: encode: deflate: %w", err)
-			}
-			putUvarint(uint64(ti) + 1)
-			putUvarint(uint64(count))
-			putUvarint(uint64(len(raw)))
-			putUvarint(uint64(comp.Len()))
-			var crc [4]byte
-			binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(comp.Bytes(), crcTable))
-			b.Write(crc[:])
-			b.Write(comp.Bytes())
-		}
-	}
-	putUvarint(0) // block sentinel
-	sum := sha256.Sum256(b.Bytes())
-	b.Write(sum[:])
-	return b.Bytes(), nil
-}

@@ -24,10 +24,9 @@ import (
 // Load/Store/Load+Store at the normalized data address. Lines opening
 // with "==" (valgrind banners) and blank lines are skipped; anything
 // else is a loud parse error.
-func importCachegrind(r io.Reader, n *normalizer) ([][]trace.Record, error) {
+func importCachegrind(r io.Reader, n *normalizer, e *emitter) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	var e emitter
 	ops := 0
 	for ln := 1; sc.Scan(); ln++ {
 		line := sc.Text()
@@ -40,7 +39,7 @@ func importCachegrind(r io.Reader, n *normalizer) ([][]trace.Record, error) {
 		addrHex, _, _ := strings.Cut(rest, ",")
 		addr, err := strconv.ParseUint(strings.TrimSpace(addrHex), 16, 64)
 		if err != nil {
-			return nil, fmt.Errorf("cachegrind: line %d: unrecognized line %q (expected \"I|L|S|M addr,size\")", ln, line)
+			return fmt.Errorf("cachegrind: line %d: unrecognized line %q (expected \"I|L|S|M addr,size\")", ln, line)
 		}
 		switch kind {
 		case 'I':
@@ -54,15 +53,16 @@ func importCachegrind(r io.Reader, n *normalizer) ([][]trace.Record, error) {
 			e.mem(trace.Load, a)
 			e.mem(trace.Store, a)
 		default:
-			return nil, fmt.Errorf("cachegrind: line %d: unknown op %q in %q", ln, kind, line)
+			return fmt.Errorf("cachegrind: line %d: unknown op %q in %q", ln, kind, line)
 		}
 		ops++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("cachegrind: %w", err)
+		return fmt.Errorf("cachegrind: %w", err)
 	}
 	if ops == 0 {
-		return nil, fmt.Errorf("cachegrind: no records (empty or foreign file?)")
+		return fmt.Errorf("cachegrind: no records (empty or foreign file?)")
 	}
-	return [][]trace.Record{e.done()}, nil
+	_, err := e.finish()
+	return err
 }

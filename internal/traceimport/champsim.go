@@ -33,17 +33,16 @@ const champSimRecordBytes = 64
 // one instruction each (our record vocabulary is one instruction per
 // memory record); the inflation is tiny in practice and identical on
 // every import.
-func importChampSim(r io.Reader, n *normalizer) ([][]trace.Record, error) {
+func importChampSim(r io.Reader, n *normalizer, e *emitter) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
 		gz, err := gzip.NewReader(br)
 		if err != nil {
-			return nil, fmt.Errorf("champsim: opening gzip stream: %w", err)
+			return fmt.Errorf("champsim: opening gzip stream: %w", err)
 		}
 		defer gz.Close()
 		br = bufio.NewReaderSize(gz, 1<<20)
 	}
-	var e emitter
 	var rec [champSimRecordBytes]byte
 	for i := 0; ; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -51,9 +50,9 @@ func importChampSim(r io.Reader, n *normalizer) ([][]trace.Record, error) {
 				break
 			}
 			if err == io.ErrUnexpectedEOF {
-				return nil, fmt.Errorf("champsim: record %d is truncated (file is not a whole number of 64-byte records)", i)
+				return fmt.Errorf("champsim: record %d is truncated (file is not a whole number of 64-byte records)", i)
 			}
-			return nil, fmt.Errorf("champsim: record %d: %w", i, err)
+			return fmt.Errorf("champsim: record %d: %w", i, err)
 		}
 		memOps := 0
 		for s := 0; s < 4; s++ {
@@ -72,9 +71,12 @@ func importChampSim(r io.Reader, n *normalizer) ([][]trace.Record, error) {
 			e.compute(1)
 		}
 	}
-	recs := e.done()
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("champsim: no records (empty file?)")
+	total, err := e.finish()
+	if err != nil {
+		return err
 	}
-	return [][]trace.Record{recs}, nil
+	if total == 0 {
+		return fmt.Errorf("champsim: no records (empty file?)")
+	}
+	return nil
 }

@@ -35,10 +35,9 @@ const damonComputeGap = 20
 // attribute reads vs writes in this dump, so the synthetic stream is
 // read-only (WriteRatio 0) — replay exercises the read path and page
 // heat, not the write log.
-func importDAMON(r io.Reader, n *normalizer) ([][]trace.Record, error) {
+func importDAMON(r io.Reader, n *normalizer, e *emitter) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	var e emitter
 	regions := 0
 	for ln := 1; sc.Scan(); ln++ {
 		line := strings.TrimSpace(sc.Text())
@@ -50,7 +49,7 @@ func importDAMON(r io.Reader, n *normalizer) ([][]trace.Record, error) {
 			end, err2 := strconv.ParseUint(m[2], 16, 64)
 			accesses, err3 := strconv.ParseUint(m[3], 10, 64)
 			if err1 != nil || err2 != nil || err3 != nil || end <= start {
-				return nil, fmt.Errorf("damon: line %d: malformed region %q", ln, line)
+				return fmt.Errorf("damon: line %d: malformed region %q", ln, line)
 			}
 			regions++
 			if accesses == 0 {
@@ -60,7 +59,7 @@ func importDAMON(r io.Reader, n *normalizer) ([][]trace.Record, error) {
 			// carries at most the sampling budget of one aggregation
 			// interval in practice, but the value is untrusted input.
 			if accesses > 1<<20 {
-				return nil, fmt.Errorf("damon: line %d: region declares %d accesses (damaged dump?)", ln, accesses)
+				return fmt.Errorf("damon: line %d: region declares %d accesses (damaged dump?)", ln, accesses)
 			}
 			size := end - start
 			stride := size / accesses
@@ -81,17 +80,20 @@ func importDAMON(r io.Reader, n *normalizer) ([][]trace.Record, error) {
 				continue
 			}
 		}
-		return nil, fmt.Errorf("damon: line %d: unrecognized line %q (expected a damo raw dump)", ln, line)
+		return fmt.Errorf("damon: line %d: unrecognized line %q (expected a damo raw dump)", ln, line)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("damon: %w", err)
+		return fmt.Errorf("damon: %w", err)
 	}
 	if regions == 0 {
-		return nil, fmt.Errorf("damon: no region lines (empty or foreign file?)")
+		return fmt.Errorf("damon: no region lines (empty or foreign file?)")
 	}
-	recs := e.done()
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("damon: every region reports zero accesses; nothing to replay")
+	total, err := e.finish()
+	if err != nil {
+		return err
 	}
-	return [][]trace.Record{recs}, nil
+	if total == 0 {
+		return fmt.Errorf("damon: every region reports zero accesses; nothing to replay")
+	}
+	return nil
 }

@@ -47,10 +47,14 @@ import (
 const ConverterVersion = "traceimport/v1"
 
 // converters maps format name to its parser. A parser reads the whole
-// source and returns the normalized thread streams (thread 0 only for
-// all current formats — replay wraps threads modulo the recorded
-// count, so any simulated thread count still feeds every thread).
-var converters = map[string]func(r io.Reader, n *normalizer) ([][]trace.Record, error){
+// source and pushes normalized records through the emitter one at a
+// time (thread 0 only for all current formats — replay wraps threads
+// modulo the recorded count, so any simulated thread count still feeds
+// every thread). Streaming instead of returning a slice keeps importer
+// memory independent of source size: the sink decides whether records
+// materialize (Import) or encode straight into trace blocks
+// (ImportEncoded).
+var converters = map[string]func(r io.Reader, n *normalizer, e *emitter) error{
 	"champsim":   importChampSim,
 	"damon":      importDAMON,
 	"cachegrind": importCachegrind,
@@ -81,68 +85,116 @@ func ParseSpec(spec string) (format, path string, err error) {
 	return format, path, nil
 }
 
-// Import converts the external trace at path into an in-memory Trace
-// with provenance meta. The result is ready to encode
-// (trace.EncodeTrace) or to register as a workload (RegisterWorkload).
-func Import(format, path string) (*trace.Trace, error) {
+// importStream runs one converter pass, pushing every normalized
+// record into sink as it is parsed, and returns the trace meta
+// assembled from what the pass observed (footprint, write ratio,
+// source digest). The caller chooses what the sink does with the
+// records; importStream itself holds none of them.
+func importStream(format, path string, sink func(trace.Record) error) (trace.Meta, error) {
 	conv, ok := converters[format]
 	if !ok {
-		return nil, fmt.Errorf("traceimport: unknown format %q (valid: %s)", format, strings.Join(Formats(), ", "))
+		return trace.Meta{}, fmt.Errorf("traceimport: unknown format %q (valid: %s)", format, strings.Join(Formats(), ", "))
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("traceimport: %w", err)
+		return trace.Meta{}, fmt.Errorf("traceimport: %w", err)
 	}
 	defer f.Close()
 	// Hash the source as the parser consumes it: the digest in Origin
 	// is of the exact bytes that produced the records.
 	h := sha256.New()
 	norm := newNormalizer()
-	threads, err := conv(io.TeeReader(f, h), norm)
-	if err != nil {
-		return nil, fmt.Errorf("traceimport: %s: %s: %w", format, path, err)
+	var loads, stores uint64
+	e := &emitter{sink: func(r trace.Record) error {
+		switch r.Kind {
+		case trace.Load, trace.LoadDep:
+			loads++
+		case trace.Store:
+			stores++
+		}
+		return sink(r)
+	}}
+	if err := conv(io.TeeReader(f, h), norm, e); err != nil {
+		return trace.Meta{}, fmt.Errorf("traceimport: %s: %s: %w", format, path, err)
 	}
 	// Drain whatever the parser did not consume (e.g. nothing, for the
 	// text formats) so the digest always covers the whole file.
 	if _, err := io.Copy(h, f); err != nil {
-		return nil, fmt.Errorf("traceimport: %s: %w", path, err)
+		return trace.Meta{}, fmt.Errorf("traceimport: %s: %w", path, err)
 	}
-	total := 0
-	for _, recs := range threads {
-		total += len(recs)
-	}
-	if total == 0 {
-		return nil, fmt.Errorf("traceimport: %s: %s holds no convertible records", format, path)
-	}
-	var loads, stores uint64
-	for _, recs := range threads {
-		for _, r := range recs {
-			switch r.Kind {
-			case trace.Load, trace.LoadDep:
-				loads++
-			case trace.Store:
-				stores++
-			}
-		}
+	if e.count == 0 {
+		return trace.Meta{}, fmt.Errorf("traceimport: %s: %s holds no convertible records", format, path)
 	}
 	writeRatio := 0.0
 	if loads+stores > 0 {
 		writeRatio = float64(stores) / float64(loads+stores)
 	}
-	return &trace.Trace{
-		Meta: trace.Meta{
-			Workload:       format + ":" + sanitizeName(filepath.Base(path)),
-			FootprintPages: norm.footprintPages(),
-			WriteRatio:     writeRatio,
-			Origin: &trace.Origin{
-				Format:       format,
-				Source:       filepath.Base(path),
-				SourceDigest: hex.EncodeToString(h.Sum(nil)),
-				Converter:    ConverterVersion,
-			},
+	return trace.Meta{
+		Workload:       format + ":" + sanitizeName(filepath.Base(path)),
+		FootprintPages: norm.footprintPages(),
+		WriteRatio:     writeRatio,
+		Origin: &trace.Origin{
+			Format:       format,
+			Source:       filepath.Base(path),
+			SourceDigest: hex.EncodeToString(h.Sum(nil)),
+			Converter:    ConverterVersion,
 		},
-		Threads: threads,
 	}, nil
+}
+
+// Import converts the external trace at path into an in-memory Trace
+// with provenance meta. The result is ready to encode
+// (trace.EncodeTrace) or to hand to code that wants materialized
+// records; conversions meant for a .trc file or a workload
+// registration should use ImportEncoded instead, which never holds
+// the record slice.
+func Import(format, path string) (*trace.Trace, error) {
+	var recs []trace.Record
+	meta, err := importStream(format, path, func(r trace.Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &trace.Trace{Meta: meta, Threads: [][]trace.Record{recs}}, nil
+}
+
+// Encoded is a finished streaming import: the canonical .trc bytes
+// plus the meta and record count the pass discovered.
+type Encoded struct {
+	// Data is the encoded trace container, identical to encoding the
+	// materialized Import result at the same version.
+	Data []byte
+	// Meta is the trace meta that rides in Data (provenance included).
+	Meta trace.Meta
+	// Threads and Records describe the converted stream.
+	Threads int
+	Records uint64
+}
+
+// ImportEncoded converts the external trace at path directly into
+// encoded .trc bytes at the given codec version, streaming each
+// record into the block writer as it is parsed. Peak heap tracks the
+// encoded output size (a few bytes per record) plus one raw block —
+// not the 16 B/record of a materialized conversion — so multi-gigabyte
+// published traces import without a matching memory budget. The bytes
+// are identical to EncodeTraceVersion(Import(...)) by construction.
+func ImportEncoded(format, path string, version int) (*Encoded, error) {
+	enc, err := trace.NewStreamEncoder(version)
+	if err != nil {
+		return nil, err
+	}
+	enc.BeginThread() // all current converters emit a single thread-0 stream
+	meta, err := importStream(format, path, enc.Append)
+	if err != nil {
+		return nil, err
+	}
+	data, err := enc.Finish(meta)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoded{Data: data, Meta: meta, Threads: enc.Threads(), Records: enc.Records()}, nil
 }
 
 // sanitizeName maps a source file name onto the workload-name alphabet
@@ -203,33 +255,51 @@ func (n *normalizer) footprintPages() uint64 {
 	return n.next
 }
 
-// emitter batches compute instructions between memory records, the
+// emitter batches compute instructions between memory records — the
 // same compaction the generators use: runs of non-memory instructions
-// become one Compute record.
+// become one Compute record — and streams each finished record into
+// its sink immediately, so a converter never holds more than the
+// pending compute count. The first sink error sticks; later emits are
+// dropped and finish reports it.
 type emitter struct {
-	recs    []trace.Record
+	sink    func(trace.Record) error
+	count   uint64 // records successfully emitted
 	pending uint64 // accumulated compute instructions
+	err     error
+}
+
+func (e *emitter) emit(r trace.Record) {
+	if e.err != nil {
+		return
+	}
+	if err := e.sink(r); err != nil {
+		e.err = err
+		return
+	}
+	e.count++
 }
 
 func (e *emitter) compute(n uint64) { e.pending += n }
 
 func (e *emitter) flush() {
-	for e.pending > 0 {
+	for e.pending > 0 && e.err == nil {
 		n := e.pending
 		if n > 1<<30 {
 			n = 1 << 30
 		}
-		e.recs = append(e.recs, trace.Record{Kind: trace.Compute, N: uint32(n)})
+		e.emit(trace.Record{Kind: trace.Compute, N: uint32(n)})
 		e.pending -= n
 	}
 }
 
 func (e *emitter) mem(kind trace.Kind, a mem.Addr) {
 	e.flush()
-	e.recs = append(e.recs, trace.Record{Kind: kind, Addr: a})
+	e.emit(trace.Record{Kind: kind, Addr: a})
 }
 
-func (e *emitter) done() []trace.Record {
+// finish flushes any trailing compute run and reports how many records
+// the pass emitted, plus the first sink error if one occurred.
+func (e *emitter) finish() (uint64, error) {
 	e.flush()
-	return e.recs
+	return e.count, e.err
 }

@@ -1,6 +1,8 @@
 package traceimport
 
 import (
+	"bytes"
+
 	"skybyte/internal/trace"
 	"skybyte/internal/workloads"
 )
@@ -14,19 +16,22 @@ import (
 // runner spec keys re-cold exactly the design points replaying this
 // import when the source file or any importer behaviour changes.
 //
-// The conversion is held in memory; to keep a large import streamable
-// across runs, write it to a .trc with the skybyte-trace CLI
+// The conversion streams straight into the encoded container and the
+// registered workload replays it through the block-at-a-time Reader,
+// so neither import nor replay ever materializes the record slice;
+// peak memory tracks the compressed trace size. To keep a large
+// import across runs, write it to a .trc with the skybyte-trace CLI
 // (-import ... -record out.trc) and load the file instead.
 func RegisterWorkload(format, path string) (workloads.Spec, error) {
-	tr, err := Import(format, path)
+	enc, err := ImportEncoded(format, path, trace.CodecVersion)
 	if err != nil {
 		return workloads.Spec{}, err
 	}
-	data, err := trace.EncodeTrace(tr)
+	src, err := trace.NewReader(bytes.NewReader(enc.Data), int64(len(enc.Data)))
 	if err != nil {
 		return workloads.Spec{}, err
 	}
-	spec, err := workloads.SpecFromTrace(tr, trace.TraceDigest(data))
+	spec, err := workloads.SpecFromTrace(src, trace.TraceDigest(enc.Data))
 	if err != nil {
 		return workloads.Spec{}, err
 	}
