@@ -11,6 +11,8 @@
 //	skybyte-bench -figure figext       # the extension scenarios (WORKLOADS.md)
 //	skybyte-bench -figure figmix       # multi-tenant fairness/interference study
 //	skybyte-bench -figure figmix -mix-file mix.json -mix my-mix
+//	skybyte-bench -figure figopen      # open-loop traffic study (arrival processes)
+//	skybyte-bench -figure figopen -arrival-file traffic.json -arrival my-traffic
 //	skybyte-bench -workload-file my.json          # file workload joins the campaign
 //	skybyte-bench -workload-file my.json -workloads my-name -figure fig14
 //	skybyte-bench -config              # print the Table II configurations
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"skybyte"
+	"skybyte/internal/arrival"
 	"skybyte/internal/experiments"
 	"skybyte/internal/runner"
 	"skybyte/internal/stats"
@@ -63,8 +66,14 @@ func main() {
 		mixFiles = append(mixFiles, path)
 		return nil
 	})
+	var arrFiles []string
+	flag.Func("arrival-file", "load and register an open-loop arrival spec file (JSON; repeatable); it joins the figopen arrival set unless -arrival selects a subset", func(path string) error {
+		arrFiles = append(arrFiles, path)
+		return nil
+	})
 	var (
 		mixCSV      = flag.String("mix", "", "comma-separated mix subset for the figmix fairness table (default: all built-in and -mix-file mixes)")
+		arrCSV      = flag.String("arrival", "", "comma-separated arrival-spec subset for the figopen open-loop table (default: all built-in and -arrival-file specs)")
 		tenantRows  = flag.Bool("tenant-rows", false, "extend figures 14/16/17 with per-tenant rows: each -mix runs co-located and every tenant contributes a mix/tenant row")
 		figure      = flag.String("figure", "all", "experiment to run: all, "+strings.Join(experiments.IDs(), ", "))
 		workloadCSV = flag.String("workloads", "", "comma-separated workload subset (default: all of Table I, plus any -workload-file)")
@@ -133,6 +142,19 @@ func main() {
 		}
 		seenMix[m.Name] = path
 	}
+	seenArr := map[string]string{}
+	for _, path := range arrFiles {
+		a, err := arrival.RegisterFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if prev, ok := seenArr[a.Name]; ok {
+			fmt.Fprintf(os.Stderr, "arrival files %s and %s both define %q; rename one (the \"name\" field)\n", prev, path, a.Name)
+			os.Exit(2)
+		}
+		seenArr[a.Name] = path
+	}
 
 	opt := experiments.DefaultOptions()
 	if *instr > 0 {
@@ -149,6 +171,9 @@ func main() {
 	if *mixCSV != "" {
 		opt.Mixes = strings.Split(*mixCSV, ",")
 	}
+	if *arrCSV != "" {
+		opt.Arrivals = strings.Split(*arrCSV, ",")
+	}
 	opt.TenantRows = *tenantRows
 	// Validate every workload, mix, and figure name before any
 	// simulation runs: a typo must not leave a partially executed
@@ -161,6 +186,25 @@ func main() {
 	}
 	for _, name := range opt.Mixes {
 		if _, err := tenant.ByName(name); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	// Arrivals defaults to the full registry inside the harness; resolve
+	// the effective set here either way — an arrival spec naming an
+	// unknown cohort workload or mix must fail now, listing the valid
+	// set, before any simulation runs.
+	arrSet := opt.Arrivals
+	if len(arrSet) == 0 {
+		arrSet = arrival.Names()
+	}
+	for _, name := range arrSet {
+		a, err := arrival.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := a.Resolve(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

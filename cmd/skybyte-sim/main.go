@@ -10,6 +10,8 @@
 //	skybyte-sim -workload-file recorded.trc -variants Base-CSSD,SkyByte-Full
 //	skybyte-sim -mix graph-vs-log -variant SkyByte-Full       # multi-tenant run
 //	skybyte-sim -mix-file mix.json -variant Base-CSSD         # file-defined mix
+//	skybyte-sim -arrival open-steady -arrival-scale 2         # open-loop run
+//	skybyte-sim -arrival-file traffic.json -variant SkyByte-C # file-defined arrival spec
 //
 // With -variants (plural), several design points run concurrently over
 // the shared worker pool and print as one comparison:
@@ -51,6 +53,9 @@ func main() {
 		impSpec   = flag.String("import", "", "convert and run an external trace, <format>:<path> (formats: champsim, damon, cachegrind; see WORKLOADS.md)")
 		mixName   = flag.String("mix", "", "run a multi-tenant mix instead of -workload: each tenant group replays its own workload (any of skybyte.MixNames()); prints per-tenant accounting")
 		mixFile   = flag.String("mix-file", "", "load a multi-tenant mix from a JSON file (see WORKLOADS.md) and run it")
+		arrName   = flag.String("arrival", "", "run an open-loop arrival spec instead of -workload: client cohorts offer requests at sampled instants (any of skybyte.ArrivalNames()); prints per-SLO-class percentiles")
+		arrFile   = flag.String("arrival-file", "", "load an arrival spec from a JSON file (see WORKLOADS.md) and run it")
+		arrScale  = flag.Float64("arrival-scale", 1, "with -arrival: multiply every cohort rate by this offered-intensity scale")
 		variant   = flag.String("variant", "SkyByte-Full", "design variant (Base-CSSD, SkyByte-{C,P,W,CP,WP,Full,CT,WCT}, AstriFlash-CXL, DRAM-Only)")
 		variants  = flag.String("variants", "", "comma-separated variants to compare; they run in parallel and print one table")
 		parallel  = flag.Int("parallel", 0, "with -variants: simulations in flight at once (0 = GOMAXPROCS)")
@@ -110,6 +115,35 @@ func main() {
 		}
 		if *threads != 0 {
 			fail(fmt.Errorf("-mix declares its own thread counts; -threads does not apply"))
+		}
+	}
+	if *arrFile != "" {
+		loaded, err := skybyte.ArrivalFromFile(*arrFile)
+		if err != nil {
+			fail(err)
+		}
+		*arrName = loaded.Name
+	}
+	var arr skybyte.Arrival
+	if *arrName != "" {
+		var err error
+		if arr, err = skybyte.ArrivalByName(*arrName); err != nil {
+			fail(err)
+		}
+		// Resolve cohort references now: an arrival spec naming an
+		// unknown workload or mix must list the valid set and change
+		// nothing, before any simulation starts.
+		if err := arr.Resolve(); err != nil {
+			fail(err)
+		}
+		if *mixName != "" {
+			fail(fmt.Errorf("-arrival paces its own cohorts; it cannot be combined with -mix"))
+		}
+		if *variants != "" {
+			fail(fmt.Errorf("-arrival runs one design point at a time; it cannot be combined with -variants"))
+		}
+		if *threads != 0 {
+			fail(fmt.Errorf("-arrival declares its own cohort thread counts; -threads does not apply"))
 		}
 	}
 	w, err := skybyte.WorkloadByName(*workload)
@@ -188,6 +222,11 @@ func main() {
 
 	if *mixName != "" {
 		runMix(newRunner(1), base, mix, skybyte.Variant(*variant), *instr, *seed, *cacheDir != "", knobTag, knobs)
+		return
+	}
+
+	if *arrName != "" {
+		runArrival(newRunner(1), base, arr, skybyte.Variant(*variant), *instr, *seed, *arrScale, *cacheDir != "", knobTag, knobs)
 		return
 	}
 
@@ -308,6 +347,68 @@ func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Vari
 	}
 	fmt.Printf("\nfairness        Jain index %.3f over per-tenant progress rates (max/min %.2f)\n",
 		stats.JainIndex(ips), stats.MaxMinRatio(ips))
+}
+
+// runArrival executes one open-loop design point and prints the
+// per-SLO-class accounting: offered vs delivered request rate, the
+// sojourn-latency percentiles, and the queueing share of the sojourn.
+// instrPerThread matches the solo path's -instr semantics. With
+// -cache-dir the run routes through the runner so identical open-loop
+// runs recall from the store.
+func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skybyte.Variant, instrPerThread, seed uint64, scale float64, useStore bool, knobTag string, knobs func(*skybyte.Config)) {
+	cfg := base.WithVariant(v)
+	knobs(&cfg)
+	nThreads, err := a.TotalThreads()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	total := instrPerThread * uint64(nThreads)
+
+	start := time.Now()
+	var res *skybyte.Result
+	if useStore {
+		res, err = r.Run(context.Background(), runner.Spec{
+			Arrival:      a.Name,
+			ArrivalScale: scale,
+			Variant:      v,
+			TotalInstr:   total,
+			Tag:          knobTag,
+			Mutate:       knobs,
+		})
+	} else {
+		res, err = skybyte.RunArrival(cfg, a, total, seed, scale)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("arrival         %s x%g (%d cohorts, %d threads on %d cores)\n",
+		a.Name, scale, len(a.Cohorts), nThreads, cfg.Cores)
+	fmt.Printf("variant         %s\n", res.Variant)
+	fmt.Printf("exec time       %v   (%.1fM instr total; wall %v)\n",
+		res.ExecTime, float64(res.Instructions)/1e6, wall.Round(time.Millisecond))
+	fmt.Printf("boundedness     compute %.1f%%  memory %.1f%%  ctx-switch %.1f%%\n\n",
+		100*res.Bound.ComputeFrac(), 100*res.Bound.MemFrac(), 100*res.Bound.CtxFrac())
+
+	if res.OpenLoop == nil {
+		fmt.Println("no open-loop accounting recorded")
+		return
+	}
+	fmt.Printf("%-10s %12s %12s %10s %10s %10s %10s %10s %12s\n",
+		"class", "offered rps", "goodput rps", "p50", "p95", "p99", "p99.9", "max", "mean qdelay")
+	for _, cl := range res.OpenLoop.Classes {
+		fmt.Printf("%-10s %12.0f %12.0f %10v %10v %10v %10v %10v %12v\n",
+			cl.Name, cl.OfferedRPS, cl.Stats.GoodputRPS(),
+			cl.Stats.Latency.Percentile(50), cl.Stats.Latency.Percentile(95),
+			cl.Stats.Latency.Percentile(99), cl.Stats.Latency.Percentile(99.9),
+			cl.Stats.Latency.Max(), cl.Stats.QueueDelay.Mean())
+	}
+	tot := &res.OpenLoop.Total
+	fmt.Printf("\ntotal           %d admitted, %d completed (%.0f rps goodput)\n",
+		tot.Admitted, tot.Completed, tot.GoodputRPS())
 }
 
 // compareVariants runs one workload across several design points on the

@@ -52,6 +52,7 @@ import (
 	"sync"
 
 	"skybyte"
+	"skybyte/internal/arrival"
 	"skybyte/internal/mem"
 	"skybyte/internal/stats"
 	"skybyte/internal/trace"
@@ -114,6 +115,8 @@ func main() {
 		wfile    = flag.String("workload-file", "", "load the workload from a file (JSON definition or recorded trace) instead of -workload")
 		mixName  = flag.String("mix", "", "analyse a multi-tenant mix instead of -workload: every tenant's streams, summarised per tenant (any of skybyte.MixNames())")
 		mixFile  = flag.String("mix-file", "", "load the mix from a JSON file (see WORKLOADS.md) instead of -mix")
+		arrName  = flag.String("arrival", "", "analyse an open-loop arrival spec instead of -workload: per-cohort process parameters and sampled interarrival statistics (any of skybyte.ArrivalNames())")
+		arrFile  = flag.String("arrival-file", "", "load the arrival spec from a JSON file (see WORKLOADS.md) instead of -arrival")
 		n        = flag.Int("n", 100000, "records to analyse (or record) per thread")
 		dump     = flag.Int("dump", 0, "records to print verbatim (single-thread mode only)")
 		thread   = flag.Int("thread", 0, "thread id")
@@ -160,6 +163,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *arrFile != "" || *arrName != "" {
+		var a skybyte.Arrival
+		var err error
+		if *arrFile != "" {
+			a, err = skybyte.ArrivalFromFile(*arrFile)
+		} else {
+			a, err = skybyte.ArrivalByName(*arrName)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *record != "" {
+			fmt.Fprintln(os.Stderr, "-record captures workload streams; an arrival spec paces them but generates no records")
+			os.Exit(2)
+		}
+		analyzeArrival(a, *n, *seed)
 		return
 	}
 
@@ -364,6 +387,63 @@ func analyzeMix(m skybyte.Mix, n int, seed uint64, parallel int) {
 			name, td.Workload, td.Threads, instrs, memOps, stores, len(pages), 100*wr)
 	}
 }
+
+// analyzeArrival summarises an open-loop arrival spec: each cohort's
+// process parameters (rate, analytic CV, schedule shape) next to
+// statistics measured from n sampled interarrival gaps of the cohort's
+// first gate, so the traffic an open-loop run will offer can be
+// inspected before any simulation.
+func analyzeArrival(a skybyte.Arrival, n int, seed uint64) {
+	if err := a.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := a.Resolve(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	threads, err := a.TotalThreads()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("\narrival %s (%d cohorts, %d threads, %d gaps sampled/cohort)\n",
+		a.Name, len(a.Cohorts), threads, n)
+	fmt.Printf("%-10s %-12s %8s %-8s %-14s %8s %10s %12s %12s %8s %8s\n",
+		"cohort", "generator", "threads", "class", "process", "windows", "rps/thread", "mean gap", "sampled", "cv", "sampled")
+	for _, c := range a.Cohorts {
+		gen := c.Workload
+		if c.Mix != "" {
+			gen = "mix:" + c.Mix
+		}
+		proc := c.Process.Dist
+		if c.Process.Shape != 0 {
+			proc = fmt.Sprintf("%s(k=%g)", c.Process.Dist, c.Process.Shape)
+		}
+		g := arrival.NewGen(c.Process, c.Windows, 1, seed)
+		var prev, sum, sumSq float64
+		for i := 0; i < n; i++ {
+			t := g.Next().Seconds()
+			gap := t - prev
+			prev = t
+			sum += gap
+			sumSq += gap * gap
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		cv := 0.0
+		if mean > 0 && variance > 0 {
+			cv = math.Sqrt(variance) / mean
+		}
+		eff := c.Process.Rate * arrival.MeanScale(c.Windows)
+		fmt.Printf("%-10s %-12s %8d %-8s %-14s %8d %10.0f %12s %12s %8.2f %8.2f\n",
+			c.Name, gen, c.Threads, c.Class, proc, len(c.Windows), eff,
+			fmtSeconds(1/eff), fmtSeconds(mean), c.Process.CV(), cv)
+	}
+}
+
+// fmtSeconds renders a duration given in seconds at µs resolution.
+func fmtSeconds(s float64) string { return fmt.Sprintf("%.1fµs", s*1e6) }
 
 // recordTrace captures nthreads deterministic streams and writes them
 // in the versioned on-disk trace format. Streams are cut at maxRecords

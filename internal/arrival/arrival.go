@@ -1,0 +1,309 @@
+// Package arrival is the open-loop traffic engine: it turns the
+// simulator's pinned closed loops into arrival-driven request streams.
+// A Spec attaches named client cohorts — each with its own workload or
+// mix, thread budget, interarrival process, and SLO class — onto
+// tenant groups; threads then replay their traces in fixed-size
+// requests released at sampled arrival instants (osched.Gate), and the
+// Result reports per-class latency percentiles, goodput vs. offered
+// load, and queue delay. OpenCXD (PAPERS.md) argues CXL-SSD evaluation
+// must be driven by realistic request streams rather than pinned
+// microloops; LMB motivates the shared-device, many-client scenario
+// where per-class tail latency is the figure of merit.
+//
+// Everything is deterministic: samplers are pure functions of a seed
+// (splitmix-seeded xorshift128+, one stream per thread), so an
+// arrival-driven run is byte-identical at any parallelism or sharding.
+// This file holds the interarrival samplers and the time-varying
+// intensity schedule; spec.go holds the declarative cohort spec and
+// its registry.
+package arrival
+
+import (
+	"fmt"
+	"math"
+
+	"skybyte/internal/sim"
+	"skybyte/internal/trace"
+)
+
+// Interarrival distributions. Every process is specified by its *mean*
+// rate (requests/second per thread); the distribution shapes the
+// variability around that mean: deterministic is a metronome (CV 0),
+// poisson the memoryless M/G reference (CV 1), gamma with shape k<1 is
+// burstier than poisson (CV 1/√k) and k>1 smoother, and weibull with
+// shape k<1 gives the heavy-tailed gaps of ServeGen-style production
+// traces.
+const (
+	DistPoisson       = "poisson"
+	DistGamma         = "gamma"
+	DistWeibull       = "weibull"
+	DistDeterministic = "deterministic"
+)
+
+// Process is one cohort's interarrival distribution.
+type Process struct {
+	// Dist is one of the Dist* names.
+	Dist string `json:"dist"`
+	// Rate is the mean request rate per thread, requests/second, at
+	// intensity scale 1.
+	Rate float64 `json:"rate"`
+	// Shape is the gamma/weibull shape parameter k (default 1; must be
+	// unset for poisson/deterministic).
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// shape is the effective shape parameter (0 → 1).
+func (p Process) shape() float64 {
+	if p.Shape == 0 {
+		return 1
+	}
+	return p.Shape
+}
+
+// validate checks the process in the context of cohort at (an error
+// prefix like `arrival: "spec": cohort 0 (name)`).
+func (p Process) validate(at string) error {
+	switch p.Dist {
+	case DistPoisson, DistDeterministic:
+		if p.Shape != 0 {
+			return fmt.Errorf("%s: %s takes no shape parameter", at, p.Dist)
+		}
+	case DistGamma, DistWeibull:
+		if p.Shape < 0 {
+			return fmt.Errorf("%s: negative shape", at)
+		}
+	case "":
+		return fmt.Errorf("%s: missing a dist (valid: %s, %s, %s, %s)", at, DistPoisson, DistGamma, DistWeibull, DistDeterministic)
+	default:
+		return fmt.Errorf("%s: unknown dist %q (valid: %s, %s, %s, %s)", at, p.Dist, DistPoisson, DistGamma, DistWeibull, DistDeterministic)
+	}
+	if p.Rate <= 0 {
+		return fmt.Errorf("%s: rate must be positive (requests/second per thread)", at)
+	}
+	return nil
+}
+
+// CV returns the distribution's analytic coefficient of variation
+// (stddev/mean of the interarrival gap) — the statistical test battery
+// checks sampled CVs against these closed forms.
+func (p Process) CV() float64 {
+	switch p.Dist {
+	case DistDeterministic:
+		return 0
+	case DistPoisson:
+		return 1
+	case DistGamma:
+		return 1 / math.Sqrt(p.shape())
+	case DistWeibull:
+		k := p.shape()
+		g1 := math.Gamma(1 + 1/k)
+		g2 := math.Gamma(1 + 2/k)
+		return math.Sqrt(g2/(g1*g1) - 1)
+	}
+	return 0
+}
+
+// Window is one segment of a time-varying intensity schedule: for
+// DurUS microseconds the cohort's rate is multiplied by a scale that
+// ramps linearly from Scale to EndScale (flat when EndScale is unset).
+// The windows cycle, so one spec expresses bursts, diurnal shifts, and
+// warmup→build→query phase sequences alike.
+type Window struct {
+	DurUS    float64 `json:"dur_us"`
+	Scale    float64 `json:"scale"`
+	EndScale float64 `json:"end_scale,omitempty"`
+}
+
+// endScale is the effective end-of-window scale (0 → flat at Scale).
+func (w Window) endScale() float64 {
+	if w.EndScale == 0 {
+		return w.Scale
+	}
+	return w.EndScale
+}
+
+// validateWindows checks a schedule: every window positive-length and
+// non-negative, and the cycle carrying traffic somewhere.
+func validateWindows(ws []Window, at string) error {
+	if len(ws) == 0 {
+		return nil
+	}
+	area := 0.0
+	for i, w := range ws {
+		if w.DurUS <= 0 {
+			return fmt.Errorf("%s: window %d: dur_us must be positive", at, i)
+		}
+		if w.Scale < 0 || w.EndScale < 0 {
+			return fmt.Errorf("%s: window %d: negative scale", at, i)
+		}
+		area += (w.Scale + w.endScale()) / 2 * w.DurUS
+	}
+	if area <= 0 {
+		return fmt.Errorf("%s: schedule is silent (every window has scale 0)", at)
+	}
+	return nil
+}
+
+// MeanScale returns the duration-weighted mean intensity scale over
+// one cycle of ws (1 for an empty schedule) — the factor relating a
+// process's base rate to the schedule's long-run offered rate.
+func MeanScale(ws []Window) float64 {
+	if len(ws) == 0 {
+		return 1
+	}
+	area, dur := 0.0, 0.0
+	for _, w := range ws {
+		area += (w.Scale + w.endScale()) / 2 * w.DurUS
+		dur += w.DurUS
+	}
+	if dur == 0 {
+		return 1
+	}
+	return area / dur
+}
+
+// Gen samples successive absolute arrival instants for one thread: a
+// unit-mean interarrival draw from the process's distribution,
+// stretched by the mean gap and inverted through the (piecewise-linear)
+// intensity schedule, so high-scale windows pack arrivals densely and
+// silent windows pass none. It implements osched.ArrivalSource.
+type Gen struct {
+	rng  *trace.RNG
+	dist string
+	// shape and invG1 parameterize gamma/weibull draws (invG1 =
+	// 1/Γ(1+1/k) normalizes weibull to unit mean).
+	shape float64
+	invG1 float64
+	// meanPs is the mean interarrival gap in picoseconds at scale 1,
+	// rate-scale included.
+	meanPs float64
+
+	windows []Window
+	t       float64 // absolute instant of the last arrival, ps
+	widx    int     // current window
+	woff    float64 // offset into it, ps
+}
+
+// NewGen builds a sampler for process p under schedule windows, with
+// every rate multiplied by rateScale (the campaign's intensity axis),
+// seeded independently per seed. The inputs must already validate
+// (Spec.Validate does); a non-positive effective rate panics.
+func NewGen(p Process, windows []Window, rateScale float64, seed uint64) *Gen {
+	if rateScale <= 0 {
+		rateScale = 1
+	}
+	rate := p.Rate * rateScale
+	if rate <= 0 {
+		panic(fmt.Sprintf("arrival: non-positive rate %v", rate))
+	}
+	g := &Gen{
+		rng:     trace.NewRNG(seed),
+		dist:    p.Dist,
+		shape:   p.shape(),
+		meanPs:  1e12 / rate,
+		windows: windows,
+	}
+	if p.Dist == DistWeibull {
+		g.invG1 = 1 / math.Gamma(1+1/g.shape)
+	}
+	return g
+}
+
+// draw samples one unit-mean interarrival gap (dimensionless).
+func (g *Gen) draw() float64 {
+	switch g.dist {
+	case DistDeterministic:
+		return 1
+	case DistPoisson:
+		return expSample(g.rng)
+	case DistGamma:
+		return gammaSample(g.rng, g.shape) / g.shape
+	case DistWeibull:
+		return math.Pow(expSample(g.rng), 1/g.shape) * g.invG1
+	}
+	panic("arrival: unknown dist " + g.dist)
+}
+
+// expSample draws a unit-mean exponential via inversion. 1-U lies in
+// (0,1], so the log never sees zero.
+func expSample(rng *trace.RNG) float64 {
+	return -math.Log(1 - rng.Float64())
+}
+
+// normSample draws a standard normal via Box-Muller (the cosine half;
+// the sine partner is discarded to keep the draw count per sample
+// fixed, which golden-seed tests rely on).
+func normSample(rng *trace.RNG) float64 {
+	u1 := 1 - rng.Float64()
+	u2 := rng.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gammaSample draws gamma(k, 1) via Marsaglia-Tsang squeeze for k >= 1
+// and the U^(1/k) boost for k < 1.
+func gammaSample(rng *trace.RNG, k float64) float64 {
+	if k < 1 {
+		u := 1 - rng.Float64()
+		return gammaSample(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := normSample(rng)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Next returns the next absolute arrival instant. With a schedule, the
+// unit draw is converted to a target intensity *area* (draw × mean gap)
+// and the cursor advances until the integral of scale(t) covers it:
+// flat segments divide, ramps solve the quadratic ∫(s0+slope·u)du =
+// area. Silent windows contribute nothing and are skipped whole.
+func (g *Gen) Next() sim.Time {
+	need := g.draw() * g.meanPs
+	if len(g.windows) == 0 {
+		g.t += need
+		return sim.Time(g.t)
+	}
+	for {
+		w := g.windows[g.widx]
+		durPs := w.DurUS * float64(sim.Microsecond)
+		remL := durPs - g.woff
+		if remL <= 0 {
+			g.widx = (g.widx + 1) % len(g.windows)
+			g.woff = 0
+			continue
+		}
+		slope := (w.endScale() - w.Scale) / durPs // scale per ps
+		s0 := w.Scale + slope*g.woff
+		s1 := w.endScale()
+		avail := (s0 + s1) / 2 * remL
+		if avail <= need {
+			need -= avail
+			g.t += remL
+			g.widx = (g.widx + 1) % len(g.windows)
+			g.woff = 0
+			continue
+		}
+		var tau float64
+		if slope == 0 {
+			tau = need / s0
+		} else {
+			tau = (math.Sqrt(s0*s0+2*slope*need) - s0) / slope
+		}
+		g.t += tau
+		g.woff += tau
+		return sim.Time(g.t)
+	}
+}

@@ -1,0 +1,378 @@
+package arrival
+
+import (
+	"math"
+	"testing"
+
+	"skybyte/internal/sim"
+)
+
+// meanTol is the relative tolerance the battery accepts between a
+// sampled mean interarrival gap and the process's analytic 1/rate. It
+// is deliberately tight enough that a rate miscalibration of 10% or
+// more cannot pass — TestRatePerturbationIsDetected pins that property.
+const meanTol = 0.02
+
+// sampleGaps draws n interarrival gaps (seconds) from a fresh
+// generator.
+func sampleGaps(t *testing.T, p Process, seed uint64, n int) []float64 {
+	t.Helper()
+	g := NewGen(p, nil, 1, seed)
+	gaps := make([]float64, n)
+	prev := 0.0
+	for i := range gaps {
+		at := g.Next().Seconds()
+		gaps[i] = at - prev
+		prev = at
+	}
+	return gaps
+}
+
+func meanCV(gaps []float64) (mean, cv float64) {
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean = sum / float64(len(gaps))
+	var sq float64
+	for _, g := range gaps {
+		d := g - mean
+		sq += d * d
+	}
+	return mean, math.Sqrt(sq/float64(len(gaps))) / mean
+}
+
+// battery is the distribution set every statistical test sweeps: one
+// process per supported dist, covering both bursty (k<1) and smooth
+// (k>1) shapes.
+var battery = []Process{
+	{Dist: DistPoisson, Rate: 1_000_000},
+	{Dist: DistGamma, Rate: 1_000_000, Shape: 0.5},
+	{Dist: DistGamma, Rate: 1_000_000, Shape: 4},
+	{Dist: DistWeibull, Rate: 1_000_000, Shape: 0.7},
+	{Dist: DistWeibull, Rate: 1_000_000, Shape: 2},
+	{Dist: DistDeterministic, Rate: 1_000_000},
+}
+
+// TestGoldenFirstArrivals pins the first instants of every sampler at a
+// fixed seed: these values are the determinism contract — any change to
+// the RNG, the draw order, or the samplers' arithmetic shows up here
+// first, and with it every cached open-loop result in every store.
+func TestGoldenFirstArrivals(t *testing.T) {
+	golden := map[string][]sim.Time{
+		"poisson":     {1152240, 2497016, 3293299, 3692261, 3932832},
+		"gamma-0.5":   {32311, 2381218, 2382983, 2527782, 5555559},
+		"gamma-4":     {869155, 1885608, 3040260, 4279570, 4549711},
+		"weibull-0.7": {967265, 2173445, 2743997, 2956580, 3059782},
+		"det":         {1000000, 2000000, 3000000, 4000000, 5000000},
+	}
+	cases := map[string]Process{
+		"poisson":     {Dist: DistPoisson, Rate: 1_000_000},
+		"gamma-0.5":   {Dist: DistGamma, Rate: 1_000_000, Shape: 0.5},
+		"gamma-4":     {Dist: DistGamma, Rate: 1_000_000, Shape: 4},
+		"weibull-0.7": {Dist: DistWeibull, Rate: 1_000_000, Shape: 0.7},
+		"det":         {Dist: DistDeterministic, Rate: 1_000_000},
+	}
+	for name, p := range cases {
+		g := NewGen(p, nil, 1, 42)
+		for i, want := range golden[name] {
+			if got := g.Next(); got != want {
+				t.Errorf("%s: arrival %d = %d ps, want %d", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestGoldenScheduledArrivals pins a scheduled sampler the same way: a
+// silent window followed by a double-intensity window must place these
+// exact instants.
+func TestGoldenScheduledArrivals(t *testing.T) {
+	g := NewGen(Process{Dist: DistPoisson, Rate: 500_000},
+		[]Window{{DurUS: 10, Scale: 0}, {DurUS: 10, Scale: 2}}, 1, 7)
+	want := []sim.Time{10919871, 11744603, 11769816, 11926748, 12103479}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Errorf("scheduled arrival %d = %d ps, want %d", i, got, w)
+		}
+	}
+}
+
+// TestSamplerMeanAndCV checks every distribution's sampled mean gap
+// against 1/rate and its sampled CV against the analytic closed form
+// (Process.CV) at a fixed seed and sample count.
+func TestSamplerMeanAndCV(t *testing.T) {
+	for _, p := range battery {
+		gaps := sampleGaps(t, p, 99, 200_000)
+		mean, cv := meanCV(gaps)
+		wantMean := 1 / p.Rate
+		if rel := math.Abs(mean-wantMean) / wantMean; rel > meanTol {
+			t.Errorf("%s(k=%g): sampled mean gap %.4g s, want %.4g (rel err %.3f > %v)",
+				p.Dist, p.Shape, mean, wantMean, rel, meanTol)
+		}
+		wantCV := p.CV()
+		if math.Abs(cv-wantCV) > 0.03*(1+wantCV) {
+			t.Errorf("%s(k=%g): sampled CV %.3f, want analytic %.3f", p.Dist, p.Shape, cv, wantCV)
+		}
+	}
+}
+
+// TestRatePerturbationIsDetected demonstrates that the battery's mean
+// tolerance is discriminating: a generator whose rate parameter is
+// skewed by 10% (either way) produces a sample mean that FAILS the
+// meanTol gate against the declared rate. If this test ever passes a
+// perturbed sampler, the battery above has gone blind.
+func TestRatePerturbationIsDetected(t *testing.T) {
+	declared := 1_000_000.0
+	for _, skew := range []float64{0.9, 1.1} {
+		for _, dist := range []string{DistPoisson, DistGamma} {
+			p := Process{Dist: dist, Rate: declared * skew}
+			if dist == DistGamma {
+				p.Shape = 0.5
+			}
+			gaps := sampleGaps(t, p, 99, 200_000)
+			mean, _ := meanCV(gaps)
+			rel := math.Abs(mean-1/declared) / (1 / declared)
+			if rel <= meanTol {
+				t.Errorf("%s: 10%% rate skew (x%g) produced rel err %.4f <= %v; the mean check would not catch it",
+					dist, skew, rel, meanTol)
+			}
+		}
+	}
+}
+
+// ksDistance returns the Kolmogorov-Smirnov statistic between the
+// sample and the CDF.
+func ksDistance(sample []float64, cdf func(float64) float64) float64 {
+	sorted := append([]float64(nil), sample...)
+	// insertion-free sort via stdlib would import sort; keep it simple
+	quicksort(sorted)
+	n := float64(len(sorted))
+	maxD := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		if d := math.Abs(f - float64(i)/n); d > maxD {
+			maxD = d
+		}
+		if d := math.Abs(f - float64(i+1)/n); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+func quicksort(a []float64) {
+	if len(a) < 2 {
+		return
+	}
+	pivot := a[len(a)/2]
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for a[lo] < pivot {
+			lo++
+		}
+		for a[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	quicksort(a[:hi+1])
+	quicksort(a[lo:])
+}
+
+// TestKSDistance bounds the empirical-vs-analytic CDF distance at a
+// fixed seed for the distributions with closed-form CDFs: exponential,
+// Erlang-2 (gamma k=2), and weibull. The bound 0.012 sits ~3x above the
+// KS 1% critical value for n=20000 (1.63/√n ≈ 0.0115 at 1%), so a
+// correct sampler passes with margin while a wrong normalization or an
+// off-by-one in the inversion (which shifts D by O(0.1)) fails loudly.
+func TestKSDistance(t *testing.T) {
+	const n = 20_000
+	const bound = 0.012
+	cases := []struct {
+		name string
+		p    Process
+		cdf  func(float64) float64
+	}{
+		{"exponential", Process{Dist: DistPoisson, Rate: 1_000_000},
+			func(x float64) float64 { return 1 - math.Exp(-x*1_000_000) }},
+		{"erlang-2", Process{Dist: DistGamma, Rate: 1_000_000, Shape: 2},
+			// gamma(k=2) scaled to unit mean 1/rate: X = G/(k·rate),
+			// P(X<=x) = 1 - e^-u(1+u) with u = 2·rate·x.
+			func(x float64) float64 {
+				u := 2 * 1_000_000 * x
+				return 1 - math.Exp(-u)*(1+u)
+			}},
+		{"weibull-2", Process{Dist: DistWeibull, Rate: 1_000_000, Shape: 2},
+			// unit-mean weibull k=2: scale λ = 1/(rate·Γ(1.5)).
+			func(x float64) float64 {
+				lambda := 1 / (1_000_000 * math.Gamma(1.5))
+				v := x / lambda
+				return 1 - math.Exp(-v*v)
+			}},
+	}
+	for _, c := range cases {
+		gaps := sampleGaps(t, c.p, 1234, n)
+		if d := ksDistance(gaps, c.cdf); d > bound {
+			t.Errorf("%s: KS distance %.4f > %.4f at seed 1234", c.name, d, bound)
+		}
+	}
+}
+
+// TestDeterministicMetronome pins the CV-0 case exactly: arrivals land
+// at integer multiples of the mean gap with no drift.
+func TestDeterministicMetronome(t *testing.T) {
+	g := NewGen(Process{Dist: DistDeterministic, Rate: 2_000_000}, nil, 1, 5)
+	for i := 1; i <= 1000; i++ {
+		want := sim.Time(i * 500_000) // 0.5µs in ps
+		if got := g.Next(); got != want {
+			t.Fatalf("arrival %d at %d ps, want %d", i, got, want)
+		}
+	}
+}
+
+// TestSeedIndependence: the same seed reproduces the identical
+// sequence; distinct seeds diverge immediately.
+func TestSeedIndependence(t *testing.T) {
+	p := Process{Dist: DistPoisson, Rate: 1_000_000}
+	a := NewGen(p, nil, 1, 11)
+	b := NewGen(p, nil, 1, 11)
+	c := NewGen(p, nil, 1, 12)
+	same, diff := true, false
+	for i := 0; i < 100; i++ {
+		av := a.Next()
+		if av != b.Next() {
+			same = false
+		}
+		if av != c.Next() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("identical seeds diverged")
+	}
+	if !diff {
+		t.Error("distinct seeds produced identical sequences")
+	}
+}
+
+// TestRateScaleCompressesTime: doubling the intensity scale halves
+// every gap exactly (the draw sequence is identical; only the mean gap
+// changes), which is what makes a figopen sweep sample the same
+// stochastic path at every offered intensity.
+func TestRateScaleCompressesTime(t *testing.T) {
+	p := Process{Dist: DistPoisson, Rate: 1_000_000}
+	g1 := NewGen(p, nil, 1, 77)
+	g2 := NewGen(p, nil, 2, 77)
+	for i := 0; i < 1000; i++ {
+		t1, t2 := g1.Next(), g2.Next()
+		// Integer truncation of the float accumulation can differ by 1 ps.
+		if d := t1/2 - t2; d < -1 || d > 1 {
+			t.Fatalf("arrival %d: x1 at %d, x2 at %d; want halved (±1 ps)", i, t1, t2)
+		}
+	}
+}
+
+// TestScheduleSilentWindowPassesNothing: arrivals under a
+// {silent, active} cycle must all land in active halves, and the
+// long-run rate must match rate × MeanScale.
+func TestScheduleSilentWindowPassesNothing(t *testing.T) {
+	ws := []Window{{DurUS: 10, Scale: 0}, {DurUS: 10, Scale: 2}}
+	if ms := MeanScale(ws); ms != 1 {
+		t.Fatalf("MeanScale = %v, want 1", ms)
+	}
+	g := NewGen(Process{Dist: DistPoisson, Rate: 1_000_000}, ws, 1, 3)
+	const n = 20_000
+	cycle := 20 * float64(sim.Microsecond)
+	var last float64
+	for i := 0; i < n; i++ {
+		at := float64(g.Next())
+		off := math.Mod(at, cycle)
+		if off < 10*float64(sim.Microsecond) {
+			t.Fatalf("arrival %d at cycle offset %.0f ps lies in the silent window", i, off)
+		}
+		last = at
+	}
+	// Long-run delivered rate ≈ rate × MeanScale (= rate here).
+	got := float64(n) / (last / 1e12)
+	if rel := math.Abs(got-1_000_000) / 1_000_000; rel > 0.03 {
+		t.Errorf("scheduled long-run rate %.0f rps, want ~1000000 (rel err %.3f)", got, rel)
+	}
+}
+
+// TestScheduleRampDensity: a ramp window 1→3 must place more arrivals
+// in its later half than its earlier half, in the ~2:1 ratio of the
+// scale areas (1→2 vs 2→3 integrates 1.5 : 2.5).
+func TestScheduleRampDensity(t *testing.T) {
+	ws := []Window{{DurUS: 20, Scale: 1, EndScale: 3}}
+	g := NewGen(Process{Dist: DistDeterministic, Rate: 1_000_000}, ws, 1, 1)
+	const n = 40_000
+	var early, late int
+	cycle := 20 * float64(sim.Microsecond)
+	for i := 0; i < n; i++ {
+		off := math.Mod(float64(g.Next()), cycle)
+		if off < cycle/2 {
+			early++
+		} else {
+			late++
+		}
+	}
+	ratio := float64(late) / float64(early)
+	if ratio < 1.55 || ratio > 1.8 {
+		t.Errorf("late/early arrival ratio %.3f, want ~2.5/1.5 ≈ 1.67", ratio)
+	}
+	if ms := MeanScale(ws); ms != 2 {
+		t.Errorf("MeanScale of 1→3 ramp = %v, want 2", ms)
+	}
+}
+
+// TestProcessValidate covers the validation matrix: shapes where they
+// don't belong, missing/unknown dists listing the valid set, and
+// non-positive rates.
+func TestProcessValidate(t *testing.T) {
+	cases := []struct {
+		p      Process
+		wantOK bool
+	}{
+		{Process{Dist: DistPoisson, Rate: 100}, true},
+		{Process{Dist: DistDeterministic, Rate: 100}, true},
+		{Process{Dist: DistGamma, Rate: 100, Shape: 0.5}, true},
+		{Process{Dist: DistWeibull, Rate: 100, Shape: 2}, true},
+		{Process{Dist: DistPoisson, Rate: 100, Shape: 2}, false},
+		{Process{Dist: DistDeterministic, Rate: 100, Shape: 1}, false},
+		{Process{Dist: DistGamma, Rate: 100, Shape: -1}, false},
+		{Process{Dist: DistPoisson, Rate: 0}, false},
+		{Process{Dist: DistPoisson, Rate: -5}, false},
+		{Process{Dist: "", Rate: 100}, false},
+		{Process{Dist: "pareto", Rate: 100}, false},
+	}
+	for i, c := range cases {
+		err := c.p.validate("at")
+		if (err == nil) != c.wantOK {
+			t.Errorf("case %d (%+v): validate = %v, want ok=%v", i, c.p, err, c.wantOK)
+		}
+	}
+}
+
+// TestWindowValidation: non-positive durations, negative scales, and
+// all-silent cycles are rejected.
+func TestWindowValidation(t *testing.T) {
+	if err := validateWindows([]Window{{DurUS: 0, Scale: 1}}, "at"); err == nil {
+		t.Error("zero-duration window accepted")
+	}
+	if err := validateWindows([]Window{{DurUS: 5, Scale: -1}}, "at"); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if err := validateWindows([]Window{{DurUS: 5, Scale: 0}, {DurUS: 5, Scale: 0}}, "at"); err == nil {
+		t.Error("all-silent schedule accepted")
+	}
+	if err := validateWindows([]Window{{DurUS: 5, Scale: 0}, {DurUS: 5, Scale: 1}}, "at"); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	if err := validateWindows(nil, "at"); err != nil {
+		t.Errorf("empty schedule rejected: %v", err)
+	}
+}

@@ -367,9 +367,30 @@ func (c *Core) accrueRuntime() {
 	}
 }
 
+// parkThread takes the current open-loop thread off the core until its
+// gate's next arrival instant. Like finishThread, swapping a successor
+// in costs a context switch attributed to the departing thread.
+func (c *Core) parkThread() {
+	t := c.thread
+	c.accrueRuntime()
+	c.thread = nil
+	c.sched.ScheduleRelease(t, t.Gate.NextArrival)
+	if c.sched.Runnable() > 0 {
+		c.chargeCtx(c.sched.SwitchCost)
+		t.Bound.CtxSwitch += c.sched.SwitchCost
+		t.Switches++
+		c.Stats.Switches++
+	}
+}
+
 func (c *Core) finishThread() {
 	t := c.thread
 	c.accrueRuntime()
+	// A truncated final request (the instruction budget ran out
+	// mid-request) still completes: its work is done.
+	if t.Gate != nil {
+		t.Gate.Complete(c.time)
+	}
 	t.Finished = true
 	c.Stats.FinishedAt = c.time
 	if c.OnThreadFinished != nil {
@@ -421,7 +442,11 @@ func (c *Core) step() {
 			gated := c.stashValid ||
 				c.fetchIdx-oldest.instrIdx >= uint64(c.cfg.ROB) ||
 				len(c.out)+len(c.zombies) >= c.cfg.MLP ||
-				c.thread == nil || c.thread.Replay.Done()
+				c.thread == nil || c.thread.Replay.Done() ||
+				// An open-loop request boundary drains the pipeline
+				// before the completion/admission decision below, so a
+				// request's misses all resolve before it completes.
+				(c.thread.Gate != nil && c.thread.Gate.Boundary(c.thread.Replay.CursorIdx()))
 			if gated {
 				if oldest.hinted {
 					// SkyByte Long Delay Exception at the retire stage.
@@ -447,6 +472,22 @@ func (c *Core) step() {
 			if !c.acquireThread() {
 				return
 			}
+		}
+		// Open-loop request boundary: every admitted instruction has
+		// retired and the pipeline is drained (the gating term above), so
+		// the in-service request completes here. The next request admits
+		// only once its arrival instant has passed — otherwise the thread
+		// parks off-core until the arrival releases it.
+		if g := c.thread.Gate; g != nil && g.Boundary(c.thread.Replay.CursorIdx()) && !c.thread.Replay.Done() {
+			g.Complete(c.time)
+			if g.NextArrival > c.time {
+				c.parkThread()
+				if c.thread == nil && !c.acquireThread() {
+					return
+				}
+				continue
+			}
+			g.Admit(c.time, c.thread.PastWarmup())
 		}
 		if budget <= 0 {
 			c.eng.AtH(c.time, hCoreStep, 0, c, nil)

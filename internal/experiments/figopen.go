@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"skybyte/internal/arrival"
+	"skybyte/internal/system"
+)
+
+// figopenVariants is the open-loop comparison set: the baseline, each
+// SkyByte mechanism alone, and the full design — the same axis as
+// figmix, here under arrival-driven load instead of closed-loop replay.
+var figopenVariants = []system.Variant{system.BaseCSSD, system.SkyByteC, system.SkyByteW, system.SkyByteFull}
+
+// figopenScales is the offered-intensity axis: every cohort rate of the
+// arrival spec is multiplied by each scale in turn. The points bracket
+// the saturation knee of the scaled machine: x1 is comfortably
+// unsaturated, x2 sits near the baseline's knee, and x4/x6 are past it —
+// where the coordinated context switch converts oversubscription into
+// delivered throughput and the baseline's tail collapses first.
+var figopenScales = []float64{1, 2, 4, 6}
+
+// FigOpen is the open-loop traffic study (an extension beyond the
+// paper, whose evaluation replays threads closed-loop): each arrival
+// spec's client cohorts offer load at sampled instants, and the table
+// reports, per SLO class, the offered vs delivered request rate and the
+// sojourn-latency percentiles as the offered intensity scales through
+// the saturation knee. Like figmix it is optional: the default campaign
+// excludes it; render with skybyte-bench -figure figopen.
+func (h *Harness) FigOpen() Table { return h.table(h.figOpen) }
+
+func (h *Harness) figOpen(p *Plan) func() Table {
+	// Open-loop percentiles need request populations, not just retired
+	// instructions; give each cell twice the campaign budget so a class
+	// collects hundreds of completions.
+	budget := 2 * h.Opt.TotalInstr
+	type cell struct {
+		spec  arrival.Spec
+		scale float64
+		v     system.Variant
+		run   *Pending
+	}
+	var cells []cell
+	for _, name := range h.Opt.Arrivals {
+		a, err := arrival.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		for _, scale := range figopenScales {
+			for _, v := range figopenVariants {
+				cells = append(cells, cell{
+					spec: a, scale: scale, v: v,
+					run: p.RunArrival(a, v, budget, scale, ""),
+				})
+			}
+		}
+	}
+	return func() Table {
+		t := Table{
+			ID:    "figopen",
+			Title: "Open-loop traffic: offered vs delivered rate and sojourn percentiles per SLO class",
+			Note: "latency = completion - arrival (queueing behind the client thread counts); " +
+				"goodput over the class's own completion span; qdelay = service start - arrival",
+			Header: []string{"arrival", "scale", "variant", "class", "offered rps", "goodput rps", "p50", "p95", "p99", "p99.9", "mean qdelay"},
+		}
+		for _, c := range cells {
+			res := c.run.Result()
+			if res.OpenLoop == nil {
+				panic(fmt.Sprintf("experiments: arrival run %q carries no OpenLoop section", c.run.Result().CacheKey))
+			}
+			for _, cl := range res.OpenLoop.Classes {
+				t.Rows = append(t.Rows, []string{
+					c.spec.Name,
+					fmt.Sprintf("x%g", c.scale),
+					string(c.v),
+					cl.Name,
+					f0(cl.OfferedRPS),
+					f0(cl.Stats.GoodputRPS()),
+					cl.Stats.Latency.Percentile(50).String(),
+					cl.Stats.Latency.Percentile(95).String(),
+					cl.Stats.Latency.Percentile(99).String(),
+					cl.Stats.Latency.Percentile(99.9).String(),
+					cl.Stats.QueueDelay.Mean().String(),
+				})
+			}
+		}
+		return t
+	}
+}
+
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }

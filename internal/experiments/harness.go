@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 
+	"skybyte/internal/arrival"
 	"skybyte/internal/mem"
 	"skybyte/internal/runner"
 	"skybyte/internal/store"
@@ -45,6 +46,11 @@ type Options struct {
 	// built-in pairings plus anything registered via tenant.Register/
 	// RegisterFile). Names resolve through tenant.ByName.
 	Mixes []string
+	// Arrivals restricts the arrival-spec set the optional figopen
+	// open-loop table sweeps (default: every registered arrival spec —
+	// the built-ins plus anything registered via arrival.Register/
+	// RegisterFile). Names resolve through arrival.ByName.
+	Arrivals []string
 	// TenantRows extends Figs. 14, 16, and 17 with per-tenant rows: each
 	// mix in Mixes is additionally simulated under the figure's variant
 	// set and every tenant contributes a "mix/tenant" row built from its
@@ -135,6 +141,9 @@ func NewHarness(opt Options) *Harness {
 	}
 	if len(opt.Mixes) == 0 {
 		opt.Mixes = tenant.Names()
+	}
+	if len(opt.Arrivals) == 0 {
+		opt.Arrivals = arrival.Names()
 	}
 	// Workload and mix definitions reach the store identity through the
 	// runner spec key, not the campaign fingerprint: every Spec.Key
@@ -269,6 +278,46 @@ func (p *Plan) RunMix(m tenant.Mix, v system.Variant, totalInstr uint64, tag str
 		TotalInstr: totalInstr,
 		Threads:    m.TotalThreads(),
 		Tag:        tag,
+	}
+	if len(muts) > 0 {
+		s.Mutate = func(c *system.Config) {
+			for _, mu := range muts {
+				mu(c)
+			}
+		}
+	}
+	return p.add(s)
+}
+
+// RunArrival declares one open-loop design point: the arrival spec's
+// client cohorts paced by their sampled arrival processes under variant
+// v, with every cohort rate multiplied by scale (the offered-intensity
+// axis; 0 means 1, and the scale is part of the design point's
+// identity). De-duplicates like Run; the executed Result carries the
+// per-SLO-class OpenLoop accounting.
+//
+// Like RunMix, the spec must be registered (arrival.Register /
+// arrival.FromFile) and match its registered definition: runner specs
+// carry only the arrival *name*, re-resolved at execution time, so
+// planning an unregistered or locally edited Spec value would silently
+// simulate something other than what the caller passed.
+func (p *Plan) RunArrival(a arrival.Spec, v system.Variant, totalInstr uint64, scale float64, tag string, muts ...mutate) *Pending {
+	if p.done {
+		panic("experiments: Plan.RunArrival after Plan.MustExecute")
+	}
+	reg, err := arrival.ByName(a.Name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: Plan.RunArrival: arrival spec %q is not registered (arrival.Register or skybyte.ArrivalFromFile it before planning): %v", a.Name, err))
+	}
+	if reg.SourceID() != a.SourceID() {
+		panic(fmt.Sprintf("experiments: Plan.RunArrival: arrival spec %q differs from its registered definition; re-register the edited spec before planning", a.Name))
+	}
+	s := runner.Spec{
+		Arrival:      a.Name,
+		ArrivalScale: scale,
+		Variant:      v,
+		TotalInstr:   totalInstr,
+		Tag:          tag,
 	}
 	if len(muts) > 0 {
 		s.Mutate = func(c *system.Config) {

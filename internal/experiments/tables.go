@@ -207,6 +207,7 @@ func (h *Harness) catalog() []catalogEntry {
 		{id: "writelog", plan: h.writeLogStats},
 		{id: "figext", plan: h.figExt, optional: true},
 		{id: "figmix", plan: h.figMix, optional: true},
+		{id: "figopen", plan: h.figOpen, optional: true},
 	}
 }
 

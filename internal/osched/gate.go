@@ -1,0 +1,131 @@
+package osched
+
+import (
+	"skybyte/internal/sim"
+	"skybyte/internal/stats"
+)
+
+// ArrivalSource yields successive absolute arrival instants of an
+// open-loop request process. Implementations must be deterministic:
+// the n-th call returns the same instant in every run of the same
+// seed. internal/arrival provides the samplers.
+type ArrivalSource interface {
+	Next() sim.Time
+}
+
+// Gate paces one thread as an open-loop client. The thread's replay is
+// sliced into requests of ReqInstr instructions; the CPU admits the
+// next request only when its arrival instant (drawn from Src) has
+// passed, parking the thread off-core until then. Completed requests
+// record sojourn latency (completion − arrival, so queueing behind the
+// client's own backlog counts) into the SLO-class and system-total
+// accumulators.
+//
+// All mutation happens on the owning System's event loop; a Gate needs
+// no locking.
+type Gate struct {
+	Src      ArrivalSource
+	ReqInstr uint64
+	Class    int              // SLO-class index (system.DeclareSLOClasses order)
+	Stats    *stats.OpenStats // per-class accumulator (may be nil)
+	Total    *stats.OpenStats // system-wide accumulator (may be nil)
+
+	// NextArrival is the arrival instant of the next not-yet-admitted
+	// request. AdmittedUntil is the instruction-index boundary of the
+	// admitted prefix: once the replay cursor reaches it (with the
+	// pipeline drained), the in-service request is complete and the next
+	// needs admission.
+	NextArrival   sim.Time
+	AdmittedUntil uint64
+
+	curArrival sim.Time // arrival instant of the in-service request
+	curDelay   sim.Time // its queue delay (admission − arrival)
+	curRecord  bool     // was the thread past warmup at admission?
+	inService  bool
+}
+
+// NewGate builds a gate over src and draws the first arrival instant.
+func NewGate(src ArrivalSource, reqInstr uint64, class int, cls, total *stats.OpenStats) *Gate {
+	if reqInstr == 0 {
+		panic("osched: gate with zero request size")
+	}
+	return &Gate{
+		Src:         src,
+		ReqInstr:    reqInstr,
+		Class:       class,
+		Stats:       cls,
+		Total:       total,
+		NextArrival: src.Next(),
+	}
+}
+
+// Boundary reports whether the replay cursor (trace.Replayer.CursorIdx)
+// has consumed every admitted instruction, i.e. the thread sits between
+// requests. The cursor — not Thread.Progress or the high-water NextIdx —
+// is the right yardstick: it regresses on a context-switch rewind, so a
+// squashed request re-executes fully before it can complete.
+func (g *Gate) Boundary(cursor uint64) bool { return cursor >= g.AdmittedUntil }
+
+// Admit starts the next request at instant now (>= its arrival —
+// requests queue behind the client thread's own backlog, never run
+// early). record captures the warmup state once so a request straddling
+// the warmup boundary is counted consistently at completion.
+func (g *Gate) Admit(now sim.Time, record bool) {
+	delay := now - g.NextArrival
+	if delay < 0 {
+		delay = 0
+	}
+	g.curArrival = g.NextArrival
+	g.curDelay = delay
+	g.curRecord = record
+	g.inService = true
+	if record {
+		if g.Stats != nil {
+			g.Stats.Admitted++
+		}
+		if g.Total != nil {
+			g.Total.Admitted++
+		}
+	}
+	g.AdmittedUntil += g.ReqInstr
+	g.NextArrival = g.Src.Next()
+}
+
+// Complete finishes the in-service request at instant now. A no-op when
+// nothing is in service, so thread-retirement paths may call it
+// unconditionally.
+func (g *Gate) Complete(now sim.Time) {
+	if !g.inService {
+		return
+	}
+	g.inService = false
+	if !g.curRecord {
+		return
+	}
+	lat := now - g.curArrival
+	if lat < 0 {
+		lat = 0
+	}
+	if g.Stats != nil {
+		g.Stats.Observe(now, lat, g.curDelay)
+	}
+	if g.Total != nil {
+		g.Total.Observe(now, lat, g.curDelay)
+	}
+}
+
+// hGateRelease re-enqueues a parked open-loop thread at its arrival
+// instant (p1 = *Scheduler, p2 = *Thread).
+var hGateRelease = sim.RegisterHandler(func(_ uint64, p1, p2 any) {
+	p1.(*Scheduler).Enqueue(p2.(*Thread))
+})
+
+// ScheduleRelease enqueues t at instant at (clamped to the engine's
+// now, which may have advanced past a core-local clock). Cores parked
+// on an empty run queue wake through the usual WaitReady path.
+func (s *Scheduler) ScheduleRelease(t *Thread, at sim.Time) {
+	if now := s.eng.Now(); at < now {
+		at = now
+	}
+	s.eng.AtH(at, hGateRelease, 0, s, t)
+}

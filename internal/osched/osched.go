@@ -54,6 +54,12 @@ type Thread struct {
 	LLCMisses uint64
 	// Finished is set when the trace is fully retired.
 	Finished bool
+
+	// Gate, when non-nil, paces the thread as an open-loop client:
+	// instructions replay in fixed-size requests, each admitted only
+	// once its arrival instant has passed (internal/arrival attaches
+	// gates; nil preserves the closed-loop behavior exactly).
+	Gate *Gate
 }
 
 // PastWarmup reports whether statistics should be recorded for the thread.

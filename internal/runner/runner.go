@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"skybyte/internal/arrival"
 	"skybyte/internal/system"
 	"skybyte/internal/tenant"
 	"skybyte/internal/workloads"
@@ -261,6 +262,9 @@ func (r *Runner) RunAll(ctx context.Context, specs []Spec) ([]*system.Result, er
 // variant config and drive every thread stream to retirement. Mix specs
 // resolve their tenant groups and attribute results per tenant.
 func (r *Runner) execute(spec Spec, key string) (*system.Result, error) {
+	if spec.Arrival != "" {
+		return r.executeArrival(spec, key)
+	}
 	if spec.Mix != "" {
 		return r.executeMix(spec, key)
 	}
@@ -304,6 +308,39 @@ func (r *Runner) executeMix(spec Spec, key string) (*system.Result, error) {
 	}
 	sys := system.New(cfg)
 	if err := m.Apply(sys, spec.TotalInstr, r.seed); err != nil {
+		return nil, err
+	}
+	res := sys.Run()
+	res.CacheKey = key
+	return res, nil
+}
+
+// executeArrival runs one open-loop design point: the arrival spec
+// declares the cohort thread layout (Spec.Threads, if set, must agree
+// with it — a spec's thread counts are part of its definition, not a
+// per-run knob).
+func (r *Runner) executeArrival(spec Spec, key string) (*system.Result, error) {
+	a, err := arrival.ByName(spec.Arrival)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Resolve(); err != nil {
+		return nil, err
+	}
+	total, err := a.TotalThreads()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Threads != 0 && spec.Threads != total {
+		return nil, fmt.Errorf("runner: arrival spec %q declares %d threads; spec asks for %d (leave Threads 0 or match the spec)",
+			spec.Arrival, total, spec.Threads)
+	}
+	cfg := r.base.WithVariant(spec.Variant)
+	if spec.Mutate != nil {
+		spec.Mutate(&cfg)
+	}
+	sys := system.New(cfg)
+	if err := a.Apply(sys, spec.TotalInstr, r.seed, spec.arrivalScale()); err != nil {
 		return nil, err
 	}
 	res := sys.Run()

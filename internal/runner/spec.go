@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"skybyte/internal/arrival"
 	"skybyte/internal/system"
 	"skybyte/internal/tenant"
 	"skybyte/internal/workloads"
@@ -40,6 +41,14 @@ type Spec struct {
 	// tenant.ByName): the run assigns each tenant group's workload to
 	// its thread range and the Result carries per-tenant accounting.
 	Mix string
+	// Arrival, when set, names an open-loop arrival spec (resolved via
+	// arrival.ByName): the run paces each cohort's threads with sampled
+	// arrival instants and the Result carries per-SLO-class accounting.
+	// Mutually exclusive with Workload/Mix.
+	Arrival string
+	// ArrivalScale multiplies every cohort rate of an Arrival run — the
+	// campaign's offered-intensity axis (0 means 1). Part of the key.
+	ArrivalScale float64
 	// Variant is the design point applied to the base config.
 	Variant system.Variant
 	// TotalInstr is the total instruction budget, divided evenly among
@@ -62,7 +71,9 @@ type Spec struct {
 //
 //	workload|variant|budget|threads|tag|src=<digest>
 //
-// (the first segment is "mix:<name>" for mix specs). The trailing src
+// (the first segment is "mix:<name>" for mix specs and
+// "arr:<name>@<scale>" for arrival specs, folding the offered-intensity
+// scale into the identity). The trailing src
 // digest is the resolved generator's source identity — the workload's
 // SourceID, or for a mix its fingerprint plus every member workload's
 // SourceID — truncated to 16 hex chars. Folding the source into the
@@ -73,17 +84,34 @@ type Spec struct {
 // fails before simulating, and nothing is cached under that key.
 func (s Spec) Key() string {
 	name := s.Workload
-	if s.Mix != "" {
+	switch {
+	case s.Arrival != "":
+		name = fmt.Sprintf("arr:%s@%g", s.Arrival, s.arrivalScale())
+	case s.Mix != "":
 		name = "mix:" + s.Mix
 	}
 	return fmt.Sprintf("%s|%s|%d|%d|%s|src=%s", name, s.Variant, s.TotalInstr, s.Threads, s.Tag, s.sourceDigest())
+}
+
+// arrivalScale is the effective intensity scale (0 → 1).
+func (s Spec) arrivalScale() float64 {
+	if s.ArrivalScale == 0 {
+		return 1
+	}
+	return s.ArrivalScale
 }
 
 // sourceDigest resolves the spec's generator source identity against
 // the live registries and compresses it to 16 hex chars.
 func (s Spec) sourceDigest() string {
 	var src string
-	if s.Mix != "" {
+	if s.Arrival != "" {
+		a, err := arrival.ByName(s.Arrival)
+		if err != nil {
+			return "unresolved"
+		}
+		src = a.SourceID()
+	} else if s.Mix != "" {
 		m, err := tenant.ByName(s.Mix)
 		if err != nil {
 			return "unresolved"

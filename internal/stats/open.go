@@ -1,0 +1,74 @@
+package stats
+
+import "skybyte/internal/sim"
+
+// OpenStats accumulates one open-loop request population: how many
+// requests the arrival process released (Admitted), how many ran to
+// completion (Completed — at most Admitted; the in-service request at
+// budget exhaustion counts only if it finishes), end-to-end sojourn
+// latency measured from the arrival instant (so it includes the time a
+// request queued behind a busy client thread), and that queueing
+// component on its own (QueueDelay = service start − arrival). A System
+// keeps one OpenStats per SLO class plus one grand total.
+type OpenStats struct {
+	Admitted   uint64
+	Completed  uint64
+	Latency    LatencyHist
+	QueueDelay LatencyHist
+
+	// FirstDone and LastDone bracket this population's completion span:
+	// the instants of its first and last completed request. Goodput is
+	// measured over this span — not the whole run — so one straggler
+	// cohort (a heavy-tailed arrival process still draining) cannot
+	// deflate every other class's delivered rate. Meaningless when
+	// Completed == 0.
+	FirstDone sim.Time
+	LastDone  sim.Time
+}
+
+// Observe records one completed request at instant now: its sojourn
+// latency and the queueing share of it.
+func (o *OpenStats) Observe(now, latency, queueDelay sim.Time) {
+	if o.Completed == 0 || now < o.FirstDone {
+		o.FirstDone = now
+	}
+	if now > o.LastDone {
+		o.LastDone = now
+	}
+	o.Completed++
+	o.Latency.Observe(latency)
+	o.QueueDelay.Observe(queueDelay)
+}
+
+// Merge folds other into o bucket for bucket, so per-class splits can
+// be summed and compared against a total exactly.
+func (o *OpenStats) Merge(other *OpenStats) {
+	if other.Completed > 0 {
+		if o.Completed == 0 || other.FirstDone < o.FirstDone {
+			o.FirstDone = other.FirstDone
+		}
+		if other.LastDone > o.LastDone {
+			o.LastDone = other.LastDone
+		}
+	}
+	o.Admitted += other.Admitted
+	o.Completed += other.Completed
+	o.Latency.Merge(&other.Latency)
+	o.QueueDelay.Merge(&other.QueueDelay)
+}
+
+// GoodputRPS returns completed requests per second over the population's
+// own completion span (FirstDone..LastDone) — the delivered-rate
+// companion to an arrival process's offered rate. The first completion
+// anchors the span rather than counting toward the rate, so n requests
+// over span s report (n−1)/s; fewer than two completions report 0.
+func (o *OpenStats) GoodputRPS() float64 {
+	if o.Completed < 2 {
+		return 0
+	}
+	span := (o.LastDone - o.FirstDone).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(o.Completed-1) / span
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"skybyte/internal/sim"
+)
+
+// TestOpenStatsObserve pins the request accounting: completion span
+// endpoints track min/max completion instants and both histograms see
+// every sample.
+func TestOpenStatsObserve(t *testing.T) {
+	var o OpenStats
+	o.Admitted = 3
+	o.Observe(10*sim.Microsecond, 2*sim.Microsecond, 1*sim.Microsecond)
+	o.Observe(4*sim.Microsecond, 1*sim.Microsecond, 0)
+	o.Observe(30*sim.Microsecond, 8*sim.Microsecond, 3*sim.Microsecond)
+	if o.Completed != 3 {
+		t.Fatalf("completed = %d", o.Completed)
+	}
+	if o.FirstDone != 4*sim.Microsecond || o.LastDone != 30*sim.Microsecond {
+		t.Fatalf("span = [%v, %v], want [4us, 30us]", o.FirstDone, o.LastDone)
+	}
+	if o.Latency.Count() != 3 || o.QueueDelay.Count() != 3 {
+		t.Fatal("histograms missed samples")
+	}
+	if got := o.Latency.Mean(); got != (2+1+8)*sim.Microsecond/3 {
+		t.Fatalf("latency mean = %v", got)
+	}
+}
+
+// TestOpenStatsGoodput pins the span-based estimator: N completions
+// bracket N-1 inter-completion gaps, so goodput is (N-1)/span — and
+// the degenerate shapes (no samples, one sample, zero span) all report
+// 0 rather than dividing by nothing.
+func TestOpenStatsGoodput(t *testing.T) {
+	var o OpenStats
+	if o.GoodputRPS() != 0 {
+		t.Fatal("empty stats report nonzero goodput")
+	}
+	o.Observe(5*sim.Microsecond, sim.Microsecond, 0)
+	if o.GoodputRPS() != 0 {
+		t.Fatal("single completion reports nonzero goodput")
+	}
+	// Three completions at 5us, 10us, 25us: 2 gaps over 20us = 100k rps.
+	o.Observe(10*sim.Microsecond, sim.Microsecond, 0)
+	o.Observe(25*sim.Microsecond, sim.Microsecond, 0)
+	if got := o.GoodputRPS(); math.Abs(got-100_000) > 1e-6 {
+		t.Fatalf("goodput = %g, want 100000", got)
+	}
+	// Zero span (all completions at one instant) cannot divide.
+	var z OpenStats
+	z.Observe(7*sim.Microsecond, sim.Microsecond, 0)
+	z.Observe(7*sim.Microsecond, sim.Microsecond, 0)
+	if z.GoodputRPS() != 0 {
+		t.Fatal("zero-span stats report nonzero goodput")
+	}
+}
+
+// TestOpenStatsMerge: merging per-class splits must reproduce a
+// whole-run accumulation exactly — counts add, spans take min/max, and
+// an empty side never contributes its zero FirstDone.
+func TestOpenStatsMerge(t *testing.T) {
+	var a, b, whole OpenStats
+	a.Admitted, b.Admitted = 2, 1
+	for _, s := range []struct {
+		dst             *OpenStats
+		done, lat, qdel sim.Time
+	}{
+		{&a, 12 * sim.Microsecond, 3 * sim.Microsecond, sim.Microsecond},
+		{&a, 40 * sim.Microsecond, 5 * sim.Microsecond, 0},
+		{&b, 8 * sim.Microsecond, 2 * sim.Microsecond, 500 * sim.Nanosecond},
+	} {
+		s.dst.Observe(s.done, s.lat, s.qdel)
+		whole.Observe(s.done, s.lat, s.qdel)
+	}
+	whole.Admitted = 3
+
+	m := a
+	m.Merge(&b)
+	if m != whole {
+		t.Fatalf("merge mismatch:\nmerged %+v\nwhole  %+v", m, whole)
+	}
+	if m.FirstDone != 8*sim.Microsecond || m.LastDone != 40*sim.Microsecond {
+		t.Fatalf("merged span = [%v, %v]", m.FirstDone, m.LastDone)
+	}
+
+	// Merging an empty OpenStats is the identity.
+	var empty OpenStats
+	m2 := m
+	m2.Merge(&empty)
+	if m2 != m {
+		t.Fatal("merging empty stats changed the accumulator")
+	}
+	// And merging INTO an empty one copies the span rather than
+	// keeping the zero-valued FirstDone.
+	var dst OpenStats
+	dst.Merge(&b)
+	if dst.FirstDone != 8*sim.Microsecond || dst.Completed != 1 {
+		t.Fatalf("merge into empty: %+v", dst)
+	}
+}
+
+// TestOpenStatsPercentiles pins the histogram quantization an
+// open-loop report goes through: a 100 ns sample lands in the bucket
+// whose lower bound is 96 ns, and that bound is what percentile
+// queries return.
+func TestOpenStatsPercentiles(t *testing.T) {
+	var o OpenStats
+	for i := 0; i < 99; i++ {
+		o.Observe(sim.Time(i+1)*sim.Microsecond, 100*sim.Nanosecond, 0)
+	}
+	o.Observe(100*sim.Microsecond, 10*sim.Microsecond, 0)
+	if got := o.Latency.Percentile(50); got != 96*sim.Nanosecond {
+		t.Fatalf("p50 = %v, want 96ns (bucket floor of 100ns)", got)
+	}
+	if got := o.Latency.Percentile(99); got != 96*sim.Nanosecond {
+		t.Fatalf("p99 = %v, want 96ns", got)
+	}
+	// The single 10us outlier is the top sample: p99.9 reaches its
+	// bucket floor (10000 ns falls in the [9216, 10240) ns bucket).
+	if got := o.Latency.Percentile(99.9); got != 9216*sim.Nanosecond {
+		t.Fatalf("p99.9 = %v, want 9216ns", got)
+	}
+}

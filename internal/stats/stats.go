@@ -147,6 +147,21 @@ func (h *LatencyHist) CDFPoints() []CDFPoint {
 // Reset clears all samples.
 func (h *LatencyHist) Reset() { *h = LatencyHist{} }
 
+// Merge adds every sample of other into h. Observing the union of two
+// sample sets and merging two histograms over the halves produce
+// identical state, which is what lets per-class open-loop splits be
+// checked against the system total bucket for bucket.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // latencyHistWire is the serialized form of LatencyHist. Buckets are
 // sparse (index -> count) because most of the ~200 buckets are empty;
 // encoding/json writes map keys sorted, so the encoding is canonical.

@@ -15,7 +15,9 @@ import (
 // they can never decode into a wrong table.
 //
 // v2: Result gained the per-tenant Tenants slice (multi-tenant runs).
-const ResultCodecVersion = 2
+// v3: Result gained the per-SLO-class OpenLoop section (arrival-driven
+// open-loop runs).
+const ResultCodecVersion = 3
 
 // EncodeResult serializes r canonically: the same measurements always
 // produce the same bytes (struct fields encode in declaration order,

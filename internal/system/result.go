@@ -61,6 +61,28 @@ type Result struct {
 	// context switches, LLC misses, and write-log activity all sum to
 	// the system totals (TestTenantStatsSumToSystemTotals).
 	Tenants []TenantResult `json:",omitempty"`
+
+	// OpenLoop carries the per-SLO-class request accounting of an
+	// arrival-driven run (DeclareSLOClasses + AttachGate); nil for
+	// closed-loop runs. Class splits merge exactly into Total
+	// (TestOpenLoopClassesSumToTotal).
+	OpenLoop *OpenLoopResult `json:",omitempty"`
+}
+
+// OpenLoopResult is the open-loop section of a Result: one entry per
+// declared SLO class plus the all-classes total.
+type OpenLoopResult struct {
+	Classes []SLOClassResult
+	Total   stats.OpenStats
+}
+
+// SLOClassResult is one SLO class's measurements: the offered load the
+// arrival spec computed for it and the admitted/completed counts with
+// sojourn-latency and queue-delay histograms.
+type SLOClassResult struct {
+	Name       string
+	OfferedRPS float64
+	Stats      stats.OpenStats
 }
 
 // TenantResult is one tenant group's share of a mixed run: the same
@@ -172,7 +194,21 @@ func (s *System) collect() *Result {
 		r.WriteLocality = s.ctrl.WriteLocality.CDF()
 	}
 	s.collectTenants(r)
+	s.collectOpenLoop(r)
 	return r
+}
+
+// collectOpenLoop assembles the per-SLO-class section of an
+// arrival-driven run.
+func (s *System) collectOpenLoop(r *Result) {
+	if len(s.sloInfo) == 0 {
+		return
+	}
+	ol := &OpenLoopResult{Classes: make([]SLOClassResult, len(s.sloInfo)), Total: s.openTotal}
+	for i, info := range s.sloInfo {
+		ol.Classes[i] = SLOClassResult{Name: info.Name, OfferedRPS: info.OfferedRPS, Stats: s.sloStats[i]}
+	}
+	r.OpenLoop = ol
 }
 
 // collectTenants assembles the per-tenant Result slice of a declared

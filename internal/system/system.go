@@ -83,6 +83,12 @@ type System struct {
 	tenantHints   []uint64
 	tenantDone    []sim.Time
 
+	// Open-loop measurement state (DeclareSLOClasses); empty in
+	// closed-loop runs.
+	sloInfo   []SLOClass
+	sloStats  []stats.OpenStats
+	openTotal stats.OpenStats
+
 	// Transaction pools for the hot request paths (see the readTxn
 	// comment below).
 	readFree  *readTxn
@@ -389,6 +395,41 @@ func (s *System) DeclareTenants(infos []TenantInfo) {
 	s.tenantDone = make([]sim.Time, n)
 }
 
+// SLOClass names one open-loop service class and its analytically
+// offered request rate (threads × per-thread rate × schedule mean,
+// computed by the arrival spec) for goodput-vs-offered comparisons.
+type SLOClass struct {
+	Name       string
+	OfferedRPS float64
+}
+
+// DeclareSLOClasses switches the system into open-loop accounting:
+// threads gated via AttachGate attribute their requests to one of the
+// declared classes, and Run's Result carries an OpenLoop section with
+// per-class latency percentiles, goodput, and queue delay. Call once,
+// before any gates are attached.
+func (s *System) DeclareSLOClasses(classes []SLOClass) {
+	if len(s.sloInfo) > 0 {
+		panic("system: DeclareSLOClasses must be called once")
+	}
+	if len(classes) == 0 {
+		panic("system: DeclareSLOClasses needs at least one class")
+	}
+	s.sloInfo = append([]SLOClass(nil), classes...)
+	s.sloStats = make([]stats.OpenStats, len(s.sloInfo))
+}
+
+// AttachGate paces thread t as an open-loop client of the given SLO
+// class: its replay is sliced into reqInstr-instruction requests
+// admitted at the instants src yields. Run releases the thread at its
+// first arrival rather than at time zero.
+func (s *System) AttachGate(t *osched.Thread, class int, src osched.ArrivalSource, reqInstr uint64) {
+	if class < 0 || class >= len(s.sloInfo) {
+		panic("system: AttachGate class index out of range (call DeclareSLOClasses first)")
+	}
+	t.Gate = osched.NewGate(src, reqInstr, class, &s.sloStats[class], &s.openTotal)
+}
+
 // AddThreadFor is AddThread with an explicit tenant group index
 // (0 <= tenant < len of the DeclareTenants slice; 0 when none declared).
 func (s *System) AddThreadFor(tenant int, stream trace.Stream, totalInstr uint64) *osched.Thread {
@@ -421,6 +462,12 @@ func (s *System) allDone() bool { return s.finished >= len(s.threads) }
 // returns the collected measurements.
 func (s *System) Run() *Result {
 	for _, t := range s.threads {
+		if t.Gate != nil {
+			// An open-loop client only becomes runnable when its first
+			// request arrives.
+			s.sched.ScheduleRelease(t, t.Gate.NextArrival)
+			continue
+		}
 		s.sched.Enqueue(t)
 	}
 	for _, c := range s.cores {

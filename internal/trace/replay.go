@@ -82,3 +82,16 @@ func (r *Replayer) Done() bool { return r.drained && r.cursor == 0 }
 // NextIdx returns the instruction index the next fresh (non-replayed)
 // record will start at — i.e. the total instructions generated so far.
 func (r *Replayer) NextIdx() uint64 { return r.nextIdx }
+
+// CursorIdx returns the instruction index of the record the next Next
+// call will actually deliver. Unlike NextIdx it regresses after a
+// RewindTo and recovers as the replayed records are re-delivered —
+// the open-loop request gate uses it so a squashed request must
+// re-execute fully before it can complete.
+func (r *Replayer) CursorIdx() uint64 {
+	if r.cursor > 0 {
+		slot := (r.ringEnd - r.cursor + replayCap) % replayCap
+		return r.ring[slot].startIdx
+	}
+	return r.nextIdx
+}

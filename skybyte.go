@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 
+	"skybyte/internal/arrival"
 	"skybyte/internal/experiments"
 	"skybyte/internal/stats"
 	"skybyte/internal/store"
@@ -217,6 +218,62 @@ func RunMix(cfg Config, m Mix, totalInstr uint64, seed uint64) (*Result, error) 
 	return sys.Run(), nil
 }
 
+// Arrival is an open-loop traffic specification: named client cohorts,
+// each pacing its threads with a sampled arrival process (Poisson,
+// Gamma, Weibull, or deterministic, optionally under a time-varying
+// intensity schedule) and reporting into an SLO class (WORKLOADS.md
+// documents the JSON schema). Obtain one from ArrivalByName,
+// ArrivalFromFile, or a literal.
+type Arrival = arrival.Spec
+
+// ArrivalCohort is one client cohort of an Arrival spec.
+type ArrivalCohort = arrival.Cohort
+
+// ArrivalProcess is a cohort's interarrival distribution.
+type ArrivalProcess = arrival.Process
+
+// ArrivalWindow is one piecewise intensity window of a cohort's
+// time-varying schedule.
+type ArrivalWindow = arrival.Window
+
+// OpenLoopResult is the per-SLO-class accounting of an open-loop run
+// (Result.OpenLoop): sojourn-latency and queue-delay percentiles,
+// admitted/completed counts, and goodput per class plus a grand total.
+type OpenLoopResult = system.OpenLoopResult
+
+// SLOClassResult is one SLO class's share of an OpenLoopResult.
+type SLOClassResult = system.SLOClassResult
+
+// ArrivalByName resolves any known arrival spec: the built-ins
+// (open-steady, open-burst) and anything registered via
+// ArrivalFromFile. Unknown names error with the full valid list.
+func ArrivalByName(name string) (Arrival, error) { return arrival.ByName(name) }
+
+// ArrivalNames lists every resolvable arrival-spec name, built-ins
+// first.
+func ArrivalNames() []string { return arrival.Names() }
+
+// ArrivalFromFile loads an arrival spec from a versioned JSON file and
+// registers it, so it resolves by name everywhere a built-in does:
+// ArrivalByName, ExperimentOptions.Arrivals (the figopen open-loop
+// table), and the CLIs' -arrival flags. Register before building
+// harnesses so plans resolve it.
+func ArrivalFromFile(path string) (Arrival, error) { return arrival.RegisterFile(path) }
+
+// RunArrival executes one open-loop simulation: every cohort of a runs
+// its threads paced by sampled arrival instants, with every cohort rate
+// multiplied by rateScale (0 means 1) and totalInstr total instructions
+// split evenly across threads. The Result's OpenLoop section attributes
+// sojourn latency, queue delay, and goodput per SLO class; the per-class
+// splits sum to OpenLoop.Total exactly.
+func RunArrival(cfg Config, a Arrival, totalInstr uint64, seed uint64, rateScale float64) (*Result, error) {
+	sys := system.New(cfg)
+	if err := a.Apply(sys, totalInstr, seed, rateScale); err != nil {
+		return nil, err
+	}
+	return sys.Run(), nil
+}
+
 // ExperimentOptions scope an experiment campaign: Parallelism
 // (simulations in flight at once; 0 = GOMAXPROCS), an optional
 // Progress callback, and the persistence/sharding knobs — CacheDir
@@ -274,8 +331,8 @@ func RunAllFromCache(opt ExperimentOptions) ([]ExperimentTable, error) {
 
 // CampaignFingerprint returns the external cache identity of a
 // campaign: the result codec version plus a digest of the resolved
-// base configuration, the workload seed, and the full workload and
-// mix registries. It is deliberately *coarser* than the store's own
+// base configuration, the workload seed, and the full workload, mix,
+// and arrival-spec registries. It is deliberately *coarser* than the store's own
 // invalidation — the store re-keys per design point via source-folded
 // spec keys (DESIGN.md §2.1), so an edited workload only re-simulates
 // the entries that use it — but an external cache (e.g. CI's
@@ -286,9 +343,10 @@ func RunAllFromCache(opt ExperimentOptions) ([]ExperimentTable, error) {
 func CampaignFingerprint(opt ExperimentOptions) string {
 	opt.CacheDir, opt.FromCache = "", false // no store side effects
 	h := NewExperiments(opt)
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s",
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%s",
 		store.Fingerprint(h.Opt.BaseConfig, h.Opt.Seed),
 		workloads.RegistryFingerprint(),
-		tenant.RegistryFingerprint())))
+		tenant.RegistryFingerprint(),
+		arrival.RegistryFingerprint())))
 	return fmt.Sprintf("v%d-%s", system.ResultCodecVersion, hex.EncodeToString(sum[:]))
 }
