@@ -7,7 +7,7 @@
 // measurement (~10.7k, 0.82/request) and ~8x below the old cost, so a
 // regression that reintroduces per-event garbage fails loudly while
 // normal drift does not. Allocation counts are hardware-independent,
-// which makes this the portable half of the perf gate (BENCH_6.json and
+// which makes this the portable half of the perf gate (BENCH_7.json and
 // cmd/benchgate carry the wall-clock half).
 package skybyte_test
 
@@ -23,10 +23,16 @@ func TestColdRunAllocsBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := skybyte.ScaledConfig().WithVariant(skybyte.SkyByteFull)
+	if cfg.TelemetryCadence != 0 {
+		t.Fatal("allocation budget must measure the telemetry-disabled path")
+	}
 	var reqs uint64
 	allocs := testing.AllocsPerRun(3, func() {
 		r := skybyte.Run(cfg, w, 24, 8000, 1)
 		reqs = r.Breakdown.Total()
+		if r.Telemetry != nil {
+			t.Error("telemetry-disabled run carried a Telemetry section")
+		}
 	})
 	if reqs == 0 {
 		t.Fatal("run classified no requests")

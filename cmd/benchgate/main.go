@@ -3,7 +3,7 @@
 // BenchmarkCampaignThroughput/store=cold) -count times via `go test`,
 // aggregates each (min ns/op — shared-host noise only adds time — and
 // median allocs/op), and compares against the pinned snapshot
-// (BENCH_6.json by default):
+// (BENCH_7.json by default):
 //
 //   - allocs/op gates strictly: allocation counts are deterministic
 //     and hardware-independent, so anything beyond a small growth
@@ -79,7 +79,7 @@ type Bench struct {
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_6.json", "pinned benchmark snapshot to gate against (or rewrite with -update)")
+		baselinePath = flag.String("baseline", "BENCH_7.json", "pinned benchmark snapshot to gate against (or rewrite with -update)")
 		update       = flag.Bool("update", false, "re-measure and rewrite -baseline instead of gating")
 		count        = flag.Int("count", 0, "benchmark repetitions to aggregate over (0 = the snapshot's count, 5 for a fresh snapshot)")
 		benchtime    = flag.String("benchtime", "", "per-repetition -benchtime (empty = the snapshot's, 3x for a fresh snapshot)")

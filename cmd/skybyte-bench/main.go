@@ -75,6 +75,7 @@ func main() {
 		mixCSV      = flag.String("mix", "", "comma-separated mix subset for the figmix fairness table (default: all built-in and -mix-file mixes)")
 		arrCSV      = flag.String("arrival", "", "comma-separated arrival-spec subset for the figopen open-loop table (default: all built-in and -arrival-file specs)")
 		tenantRows  = flag.Bool("tenant-rows", false, "extend figures 14/16/17 with per-tenant rows: each -mix runs co-located and every tenant contributes a mix/tenant row")
+		telRows     = flag.Bool("telemetry", false, "time-resolved figopen: sample in-simulator probes during every open-loop run and report write-log occupancy and per-class windowed p99 per intensity window")
 		figure      = flag.String("figure", "all", "experiment to run: all, "+strings.Join(experiments.IDs(), ", "))
 		workloadCSV = flag.String("workloads", "", "comma-separated workload subset (default: all of Table I, plus any -workload-file)")
 		instr       = flag.Uint64("instr", 0, "total instructions per run (default 384000)")
@@ -175,6 +176,7 @@ func main() {
 		opt.Arrivals = strings.Split(*arrCSV, ",")
 	}
 	opt.TenantRows = *tenantRows
+	opt.Telemetry = *telRows
 	// Validate every workload, mix, and figure name before any
 	// simulation runs: a typo must not leave a partially executed
 	// campaign behind.

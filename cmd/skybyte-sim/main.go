@@ -44,6 +44,7 @@ import (
 	"skybyte/internal/stats"
 	"skybyte/internal/store"
 	"skybyte/internal/system"
+	"skybyte/internal/telemetry"
 )
 
 func main() {
@@ -67,6 +68,8 @@ func main() {
 		cacheMB   = flag.Int("ssd-dram-mb", 0, "override total SSD DRAM size in MiB (artifact knob ssd_cache_size_byte)")
 		logKB     = flag.Int("write-log-kb", 0, "override write log size in KiB")
 		paper     = flag.Bool("paper-scale", false, "use Table II capacities verbatim instead of the 1/64 scaled machine")
+		telDur    = flag.Duration("telemetry", 0, "sample in-simulator probes (write-log occupancy, queue depths, per-class p99, ...) every this much simulated time; the time-series ride in the result (0 = off, zero cost)")
+		timeline  = flag.String("timeline", "", "with -telemetry: also record the request-lifecycle timeline and write it to this file as Chrome trace-event JSON (load in Perfetto or chrome://tracing)")
 		cacheDir  = flag.String("cache-dir", "", "persist results in the content-addressed store rooted here; identical runs are recalled, not re-simulated")
 		shardSpec = flag.String("shard", "", "with -variants and -cache-dir: execute only slice i of n (format i/n) of the comparison")
 		fromCache = flag.Bool("from-cache", false, "with -variants and -cache-dir: render from the store only; a missing run is an error")
@@ -162,6 +165,12 @@ func main() {
 	} else if _, err := system.ParseVariant(*variant); err != nil {
 		fail(err)
 	}
+	if *timeline != "" && *telDur <= 0 {
+		fail(fmt.Errorf("-timeline records spans on the telemetry sampler; it requires -telemetry <cadence>"))
+	}
+	if *timeline != "" && *variants != "" {
+		fail(fmt.Errorf("-timeline writes one run's timeline; it cannot be combined with -variants"))
+	}
 	if (*shardSpec != "" || *fromCache) && *cacheDir == "" {
 		fail(fmt.Errorf("-shard and -from-cache require -cache-dir"))
 	}
@@ -198,8 +207,13 @@ func main() {
 		if *logKB > 0 {
 			c.WriteLogBytes = *logKB << 10
 		}
+		if *telDur > 0 {
+			c.TelemetryCadence = sim.Time(telDur.Nanoseconds()) * sim.Nanosecond
+			c.TelemetryTimeline = *timeline != ""
+		}
 	}
-	knobTag := fmt.Sprintf("cli|thr=%v|pol=%s|dram=%dMB|log=%dKB", *threshold, *policy, *cacheMB, *logKB)
+	knobTag := fmt.Sprintf("cli|thr=%v|pol=%s|dram=%dMB|log=%dKB|tel=%v|tl=%t",
+		*threshold, *policy, *cacheMB, *logKB, *telDur, *timeline != "")
 
 	newRunner := func(parallelism int) *runner.Runner {
 		r := runner.New(base, *seed, parallelism)
@@ -221,12 +235,12 @@ func main() {
 	}
 
 	if *mixName != "" {
-		runMix(newRunner(1), base, mix, skybyte.Variant(*variant), *instr, *seed, *cacheDir != "", knobTag, knobs)
+		runMix(newRunner(1), base, mix, skybyte.Variant(*variant), *instr, *seed, *cacheDir != "", knobTag, knobs, *timeline)
 		return
 	}
 
 	if *arrName != "" {
-		runArrival(newRunner(1), base, arr, skybyte.Variant(*variant), *instr, *seed, *arrScale, *cacheDir != "", knobTag, knobs)
+		runArrival(newRunner(1), base, arr, skybyte.Variant(*variant), *instr, *seed, *arrScale, *cacheDir != "", knobTag, knobs, *timeline)
 		return
 	}
 
@@ -292,6 +306,44 @@ func main() {
 	}
 	fmt.Printf("SSD bandwidth   %.2f GB/s over CXL; flash die utilization %.1f%%\n",
 		res.SSDBandwidthBps/1e9, 100*res.FlashUtilization)
+	emitTelemetry(res, *timeline)
+}
+
+// emitTelemetry prints the telemetry summary lines of a run that
+// carried a sampled section, and writes the request-lifecycle timeline
+// when a path was given. Output lines are prefixed "telemetry" so
+// scripted consumers keyed on the existing row prefixes never see them.
+func emitTelemetry(res *skybyte.Result, timelinePath string) {
+	tel := res.Telemetry
+	if tel == nil {
+		return
+	}
+	fmt.Printf("telemetry       %d samples every %v across %d series\n",
+		tel.Samples, tel.Cadence, len(tel.Series))
+	if occ := tel.SeriesByName("writelog.occupancy"); occ != nil && len(occ.Points) > 0 {
+		fmt.Printf("telemetry       write-log occupancy mean %.1f%%  peak %.1f%%\n",
+			100*occ.Mean(0, res.ExecTime+1), 100*occ.Max(0, res.ExecTime+1))
+	}
+	if timelinePath == "" {
+		return
+	}
+	f, err := os.Create(timelinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := telemetry.WriteChromeTrace(f, tel); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("telemetry       timeline: %d spans -> %s (load in Perfetto or chrome://tracing)\n",
+		len(tel.Spans), timelinePath)
+	if tel.DroppedSpans > 0 {
+		fmt.Printf("telemetry       warning: %d spans beyond the recorder capacity were dropped\n", tel.DroppedSpans)
+	}
 }
 
 // runMix executes one multi-tenant design point and prints the
@@ -301,7 +353,7 @@ func main() {
 // threads each replay that many instructions). With -cache-dir the run
 // routes through the runner so identical mixed runs recall from the
 // store.
-func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Variant, instrPerThread, seed uint64, useStore bool, knobTag string, knobs func(*skybyte.Config)) {
+func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Variant, instrPerThread, seed uint64, useStore bool, knobTag string, knobs func(*skybyte.Config), timelinePath string) {
 	cfg := base.WithVariant(v)
 	knobs(&cfg)
 	total := instrPerThread * uint64(m.TotalThreads())
@@ -347,6 +399,7 @@ func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Vari
 	}
 	fmt.Printf("\nfairness        Jain index %.3f over per-tenant progress rates (max/min %.2f)\n",
 		stats.JainIndex(ips), stats.MaxMinRatio(ips))
+	emitTelemetry(res, timelinePath)
 }
 
 // runArrival executes one open-loop design point and prints the
@@ -355,7 +408,7 @@ func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Vari
 // instrPerThread matches the solo path's -instr semantics. With
 // -cache-dir the run routes through the runner so identical open-loop
 // runs recall from the store.
-func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skybyte.Variant, instrPerThread, seed uint64, scale float64, useStore bool, knobTag string, knobs func(*skybyte.Config)) {
+func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skybyte.Variant, instrPerThread, seed uint64, scale float64, useStore bool, knobTag string, knobs func(*skybyte.Config), timelinePath string) {
 	cfg := base.WithVariant(v)
 	knobs(&cfg)
 	nThreads, err := a.TotalThreads()
@@ -409,6 +462,7 @@ func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skyb
 	tot := &res.OpenLoop.Total
 	fmt.Printf("\ntotal           %d admitted, %d completed (%.0f rps goodput)\n",
 		tot.Admitted, tot.Completed, tot.GoodputRPS())
+	emitTelemetry(res, timelinePath)
 }
 
 // compareVariants runs one workload across several design points on the

@@ -29,11 +29,16 @@
 // of the size).
 //
 // Import: -import <format>:<path> converts an external trace and
-// either records it (-record) or analyses it like any workload. The
-// converted file carries provenance meta (source name, sha256,
-// converter revision) and loads as workload "trace:<format>:<source>":
+// either records it (-record) or analyses it like any workload. A bare
+// path works too when its extension names the format (unrecognized
+// extensions fail loudly with the valid set — never a silent guess).
+// For champsim, the path may be a directory or glob of per-CPU trace
+// files; each file becomes one real thread stream. The converted file
+// carries provenance meta (source name, sha256, converter revision)
+// and loads as workload "trace:<format>:<source>":
 //
 //	skybyte-trace -import champsim:600.perlbench.bin -record perlbench.trc
+//	skybyte-trace -import 'champsim:traces/cpu*.champsimtrace' -record perlbench-4cpu.trc
 //	skybyte-sim -workload-file perlbench.trc -variant SkyByte-Full
 //	skybyte-trace -import damon:damon-raw.txt          # analyse without recording
 //
@@ -55,6 +60,7 @@ import (
 	"skybyte/internal/arrival"
 	"skybyte/internal/mem"
 	"skybyte/internal/stats"
+	"skybyte/internal/telemetry"
 	"skybyte/internal/trace"
 	"skybyte/internal/traceimport"
 )
@@ -126,10 +132,26 @@ func main() {
 		record   = flag.String("record", "", "record the streams to this trace file instead of analysing")
 		recInstr = flag.Uint64("record-instr", 0, "with -record: cut each stream at this instruction budget (matching a simulation's -instr) instead of at -n records")
 		recVer   = flag.Int("trace-version", trace.CodecVersion, "with -record: trace codec version to emit (1 = flat legacy, 2 = block-compressed streaming)")
-		impSpec  = flag.String("import", "", "convert an external trace, <format>:<path> (formats: champsim, damon, cachegrind); records it with -record, analyses it otherwise")
+		impSpec  = flag.String("import", "", "convert an external trace, <format>:<path> or a bare path with a recognized extension (formats: champsim, damon, cachegrind; champsim accepts a dir/glob of per-CPU files); records it with -record, analyses it otherwise")
 		fixture  = flag.String("make-fixture", "", "write a tiny synthetic external-format source file, <format>:<path>, then exit (importer demo/CI fixture)")
+		checkTL  = flag.String("check-timeline", "", "validate a Chrome trace-event timeline written by skybyte-sim -timeline (JSON shape and per-track span nesting), then exit; a violation is a non-zero exit")
 	)
 	flag.Parse()
+
+	if *checkTL != "" {
+		data, err := os.ReadFile(*checkTL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spans, tracks, err := telemetry.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *checkTL, err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline OK: %d spans across %d tracks, spans nest within every track\n", spans, tracks)
+		return
+	}
 
 	if *fixture != "" {
 		format, path, err := traceimport.ParseSpec(*fixture)

@@ -46,6 +46,10 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(t)
 }
 
+// Accesses returns the total lookup count (hits + misses) — the
+// denominator a windowed hit-ratio probe differences between samples.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
 // Cache is a set-associative, true-LRU, tag-only cache.
 type Cache struct {
 	cfg      Config

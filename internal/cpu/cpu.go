@@ -214,6 +214,11 @@ type Core struct {
 	// OnThreadFinished, when set, is invoked as each thread retires its
 	// final instruction (system-level completion tracking).
 	OnThreadFinished func(t *osched.Thread, at sim.Time)
+
+	// OnCtxSwitch, when set, is invoked at each coordinated context
+	// switch with the core's local instant (telemetry timeline
+	// recording); nil costs one pointer check on the switch path.
+	OnCtxSwitch func(coreID int, at sim.Time)
 }
 
 // New builds a core. l1 and l2 are private; llc is shared among cores.
@@ -732,6 +737,9 @@ func (c *Core) removeZombie(e *missEntry) {
 // --- the coordinated context switch (§III-A C3–C4) ---
 
 func (c *Core) ctxSwitch(oldest *missEntry) {
+	if c.OnCtxSwitch != nil {
+		c.OnCtxSwitch(c.ID, c.time)
+	}
 	c.Stats.Switches++
 	c.Stats.HintSwitches++
 	c.thread.Switches++

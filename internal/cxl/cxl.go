@@ -134,6 +134,24 @@ func (l *Link) ToHost(size int, done func()) {
 	}
 }
 
+// TxBacklog returns how far the host→device direction is committed
+// beyond instant now — the serialization backlog a message entering
+// the link at now would queue behind. Zero when the direction is idle.
+func (l *Link) TxBacklog(now sim.Time) sim.Time {
+	if l.txFree > now {
+		return l.txFree - now
+	}
+	return 0
+}
+
+// RxBacklog is TxBacklog for the device→host direction.
+func (l *Link) RxBacklog(now sim.Time) sim.Time {
+	if l.rxFree > now {
+		return l.rxFree - now
+	}
+	return 0
+}
+
 // RoundTripLatency returns the unloaded protocol round trip.
 func (l *Link) RoundTripLatency() sim.Time { return 2 * l.cfg.LatencyEachWay }
 

@@ -58,7 +58,16 @@ type Options struct {
 	// AMAT). Off by default so the paper's tables stay the paper's; the
 	// mixed runs are shared with figmix where the design points coincide.
 	TenantRows bool
-	Seed       uint64
+	// Telemetry switches the optional figopen table into its
+	// time-resolved row mode: every open-loop run samples the
+	// in-simulator probes (internal/telemetry) on a fixed cadence, and
+	// the table reports write-log occupancy and the per-class windowed
+	// p99 resolved per intensity window of the arrival spec, instead of
+	// end-of-run percentiles. Off by default: sampling costs simulation
+	// work and re-keys the figopen design points (the telemetry config
+	// is part of spec identity).
+	Telemetry bool
+	Seed      uint64
 	// Parallelism bounds the simulations in flight at once
 	// (0 = GOMAXPROCS, 1 = fully sequential). Tables are identical at
 	// any setting; only wall-clock changes.

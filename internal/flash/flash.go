@@ -179,6 +179,18 @@ func (a *Array) Stats() Stats { return a.stats }
 // Counts returns the pending-operation counters for a channel.
 func (a *Array) Counts(ch int) QueueCounts { return a.chans[ch].counts }
 
+// QueuedOps returns the total operations (reads + programs + erases)
+// outstanding across every channel queue — the array-wide queue depth
+// a telemetry probe samples.
+func (a *Array) QueuedOps() int {
+	n := 0
+	for ch := range a.chans {
+		c := a.chans[ch].counts
+		n += c.Reads + c.Programs + c.Erases
+	}
+	return n
+}
+
 // EstimateDelay implements the queue-sum latency estimate of Algorithm 1
 // for a new read arriving on channel ch:
 //

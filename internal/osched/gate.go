@@ -3,6 +3,7 @@ package osched
 import (
 	"skybyte/internal/sim"
 	"skybyte/internal/stats"
+	"skybyte/internal/telemetry"
 )
 
 // ArrivalSource yields successive absolute arrival instants of an
@@ -38,10 +39,20 @@ type Gate struct {
 	NextArrival   sim.Time
 	AdmittedUntil uint64
 
-	curArrival sim.Time // arrival instant of the in-service request
-	curDelay   sim.Time // its queue delay (admission − arrival)
-	curRecord  bool     // was the thread past warmup at admission?
-	inService  bool
+	// Telemetry hooks, all nil when telemetry is off (the request path
+	// then costs one nil check per hook — the zero-cost-off contract).
+	// Track is the SLO class's shared in-flight/windowed-latency state;
+	// Spans records the queued/service lifecycle spans of a timeline
+	// run, with SpanTID naming the owning thread's track.
+	Track   *telemetry.ClassTrack
+	Spans   *telemetry.SpanRecorder
+	SpanTID int32
+
+	curArrival   sim.Time // arrival instant of the in-service request
+	curDelay     sim.Time // its queue delay (admission − arrival)
+	curRecord    bool     // was the thread past warmup at admission?
+	inService    bool
+	lastComplete sim.Time // prior request's completion (span clamping)
 }
 
 // NewGate builds a gate over src and draws the first arrival instant.
@@ -79,6 +90,9 @@ func (g *Gate) Admit(now sim.Time, record bool) {
 	g.curDelay = delay
 	g.curRecord = record
 	g.inService = true
+	if g.Track != nil {
+		g.Track.Inflight++
+	}
 	if record {
 		if g.Stats != nil {
 			g.Stats.Admitted++
@@ -99,12 +113,35 @@ func (g *Gate) Complete(now sim.Time) {
 		return
 	}
 	g.inService = false
+	if g.Track != nil && g.Track.Inflight > 0 {
+		g.Track.Inflight--
+	}
+	if g.Spans != nil {
+		// The queued span's natural start is the arrival instant, but an
+		// arrival that lands while the previous request is still in
+		// service would partially overlap its service span on this
+		// track; clamp to the prior completion so spans nest or stay
+		// disjoint (the timeline validator's invariant).
+		admit := g.curArrival + g.curDelay
+		qStart := g.curArrival
+		if qStart < g.lastComplete {
+			qStart = g.lastComplete
+		}
+		if admit > qStart {
+			g.Spans.Add("queued", "request", telemetry.RequestPID, g.SpanTID, qStart, admit)
+		}
+		g.Spans.Add("service", "request", telemetry.RequestPID, g.SpanTID, admit, now)
+		g.lastComplete = now
+	}
 	if !g.curRecord {
 		return
 	}
 	lat := now - g.curArrival
 	if lat < 0 {
 		lat = 0
+	}
+	if g.Track != nil {
+		g.Track.Window.Observe(lat)
 	}
 	if g.Stats != nil {
 		g.Stats.Observe(now, lat, g.curDelay)

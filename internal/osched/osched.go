@@ -201,6 +201,10 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 // Runnable returns the run-queue length.
 func (s *Scheduler) Runnable() int { return s.policy.Len() }
 
+// Waiting returns how many cores are parked on the empty run queue —
+// the idle-core count a telemetry probe samples.
+func (s *Scheduler) Waiting() int { return len(s.waiters) }
+
 // Enqueue makes t runnable ("the yield thread is re-enqueued back to the
 // run queue in OS, allowing it to be scheduled again later"). Idle cores
 // are woken.

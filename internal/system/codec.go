@@ -17,7 +17,9 @@ import (
 // v2: Result gained the per-tenant Tenants slice (multi-tenant runs).
 // v3: Result gained the per-SLO-class OpenLoop section (arrival-driven
 // open-loop runs).
-const ResultCodecVersion = 3
+// v4: Result gained the Telemetry section (probe time-series and
+// request-lifecycle spans of telemetry-enabled runs).
+const ResultCodecVersion = 4
 
 // EncodeResult serializes r canonically: the same measurements always
 // produce the same bytes (struct fields encode in declaration order,

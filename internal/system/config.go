@@ -144,6 +144,17 @@ type Config struct {
 	PreconditionRewrit float64
 	Seed               uint64
 	TrackLocality      bool
+
+	// TelemetryCadence, when positive, samples the registered telemetry
+	// probes every cadence of simulated time into Result.Telemetry.
+	// Zero (the default) disables telemetry entirely: no sampler events
+	// are scheduled and the request-path hooks stay nil, so the run is
+	// bit-identical to one before the telemetry subsystem existed.
+	TelemetryCadence sim.Time
+	// TelemetryTimeline additionally records request-lifecycle and
+	// context-switch spans (exportable as Chrome trace-event JSON).
+	// Requires TelemetryCadence > 0; ignored otherwise.
+	TelemetryTimeline bool
 }
 
 // ScaledConfig is the evaluation configuration at 1/64 of Table II's

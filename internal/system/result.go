@@ -8,6 +8,7 @@ import (
 	"skybyte/internal/ftl"
 	"skybyte/internal/sim"
 	"skybyte/internal/stats"
+	"skybyte/internal/telemetry"
 )
 
 // Result carries every measurement the evaluation consumes.
@@ -67,6 +68,14 @@ type Result struct {
 	// closed-loop runs. Class splits merge exactly into Total
 	// (TestOpenLoopClassesSumToTotal).
 	OpenLoop *OpenLoopResult `json:",omitempty"`
+
+	// Telemetry carries the sampled probe time-series (and, for
+	// timeline runs, the request-lifecycle spans) of a run with
+	// Config.TelemetryCadence set; nil otherwise. Sampling is driven by
+	// the deterministic event engine, so the section is byte-identical
+	// at any parallelism and flows through the result store like every
+	// other measurement.
+	Telemetry *telemetry.Snapshot `json:",omitempty"`
 }
 
 // OpenLoopResult is the open-loop section of a Result: one entry per
@@ -195,6 +204,9 @@ func (s *System) collect() *Result {
 	}
 	s.collectTenants(r)
 	s.collectOpenLoop(r)
+	if s.tel != nil {
+		r.Telemetry = s.tel.Snapshot()
+	}
 	return r
 }
 

@@ -13,6 +13,7 @@ import (
 	"skybyte/internal/osched"
 	"skybyte/internal/sim"
 	"skybyte/internal/stats"
+	"skybyte/internal/telemetry"
 	"skybyte/internal/trace"
 )
 
@@ -94,6 +95,17 @@ type System struct {
 	readFree  *readTxn
 	writeFree *writeTxn
 	hostFree  *hostTxn
+
+	// Telemetry state (Config.TelemetryCadence). All nil/empty when
+	// telemetry is off: the request paths then skip instrumentation
+	// through single nil checks and allocate nothing — the zero-cost
+	// contract TestColdRunAllocsBudget and cmd/benchgate pin.
+	tel          *telemetry.Recorder
+	telSpans     *telemetry.SpanRecorder
+	classTracks  []*telemetry.ClassTrack
+	telInflight  []int      // per-tenant in-flight backend requests
+	telReadSlots []sim.Time // memory-track tid allocator (busy-until)
+	telCtxEnd    []sim.Time // per-core last ctx-switch span end
 }
 
 // readTxn carries one CXL demand read from link entry to data delivery.
@@ -159,6 +171,9 @@ func (s *System) getReadTxn() *readTxn {
 	}
 	x.hintArrive = func() {
 		sys, onHint := x.s, x.req.OnHint
+		if sys.telInflight != nil {
+			sys.telInflight[x.req.Tenant]--
+		}
 		sys.putReadTxn(x)
 		onHint()
 	}
@@ -179,6 +194,12 @@ func (s *System) getReadTxn() *readTxn {
 			if m.Class == stats.SSDReadMiss {
 				sys.flashLat.Observe(m.Flash)
 			}
+			if sys.telSpans != nil {
+				sys.telReadSpan(x.t0, lat, m)
+			}
+		}
+		if sys.telInflight != nil {
+			sys.telInflight[req.Tenant]--
 		}
 		sys.putReadTxn(x)
 		req.OnData()
@@ -229,6 +250,9 @@ func (s *System) getWriteTxn() *writeTxn {
 		if x.record {
 			sys.recordClass(x.tenant, stats.SSDWrite)
 		}
+		if sys.telInflight != nil {
+			sys.telInflight[x.tenant]--
+		}
 		sys.putWriteTxn(x)
 		// Credit returns to the host over the response channel.
 		sys.link.ToHost(cxl.HeaderBytes, accepted)
@@ -271,6 +295,9 @@ func (s *System) getHostTxn() *hostTxn {
 			lat := sys.Eng.Now() - x.t0
 			sys.recordRead(req.Tenant, lat, stats.HostRW, [5]sim.Time{lat, 0, 0, 0, 0})
 		}
+		if sys.telInflight != nil {
+			sys.telInflight[req.Tenant]--
+		}
 		sys.putHostTxn(x)
 		req.OnData()
 	}
@@ -278,6 +305,9 @@ func (s *System) getHostTxn() *hostTxn {
 		sys, accepted := x.s, x.accepted
 		if x.record {
 			sys.recordClass(x.tenant, stats.HostRW)
+		}
+		if sys.telInflight != nil {
+			sys.telInflight[x.tenant]--
 		}
 		sys.putHostTxn(x)
 		accepted()
@@ -337,6 +367,12 @@ func New(cfg Config) *System {
 			Ways: cfg.AstriWays, LineBytes: mem.PageBytes,
 		})
 		s.astriIn = make(map[mem.Addr]*astriFetch)
+	}
+	if cfg.TelemetryCadence > 0 {
+		s.tel = telemetry.New(&s.Eng, cfg.TelemetryCadence)
+		if cfg.TelemetryTimeline {
+			s.telSpans = s.tel.EnableSpans(0)
+		}
 	}
 	return s
 }
@@ -417,6 +453,12 @@ func (s *System) DeclareSLOClasses(classes []SLOClass) {
 	}
 	s.sloInfo = append([]SLOClass(nil), classes...)
 	s.sloStats = make([]stats.OpenStats, len(s.sloInfo))
+	if s.tel != nil {
+		s.classTracks = make([]*telemetry.ClassTrack, len(s.sloInfo))
+		for i := range s.classTracks {
+			s.classTracks[i] = new(telemetry.ClassTrack)
+		}
+	}
 }
 
 // AttachGate paces thread t as an open-loop client of the given SLO
@@ -428,6 +470,13 @@ func (s *System) AttachGate(t *osched.Thread, class int, src osched.ArrivalSourc
 		panic("system: AttachGate class index out of range (call DeclareSLOClasses first)")
 	}
 	t.Gate = osched.NewGate(src, reqInstr, class, &s.sloStats[class], &s.openTotal)
+	if s.tel != nil {
+		t.Gate.Track = s.classTracks[class]
+		if s.telSpans != nil {
+			t.Gate.Spans = s.telSpans
+			t.Gate.SpanTID = int32(t.ID)
+		}
+	}
 }
 
 // AddThreadFor is AddThread with an explicit tenant group index
@@ -476,6 +525,9 @@ func (s *System) Run() *Result {
 	if s.tpp != nil {
 		s.Eng.After(s.cfg.TPPScanInterval, s.tppScan)
 	}
+	if s.tel != nil {
+		s.setupTelemetry()
+	}
 	s.Eng.Run()
 	return s.collect()
 }
@@ -514,6 +566,9 @@ func (s *System) recordClass(tenant int, class stats.RequestClass) {
 // Read routes a demand cacheline read: host DRAM, promoted page, the
 // AstriFlash host cache, or over CXL to the SSD controller.
 func (s *System) Read(req *cpu.ReadReq) {
+	if s.telInflight != nil {
+		s.telInflight[req.Tenant]++
+	}
 	a := req.Addr
 	if !a.IsCXL() || s.cfg.DRAMOnly {
 		s.hostRead(req, a)
@@ -539,6 +594,9 @@ func (s *System) Read(req *cpu.ReadReq) {
 
 // Write routes a cacheline writeback.
 func (s *System) Write(a mem.Addr, coreID, tenant int, record bool, accepted func()) {
+	if s.telInflight != nil {
+		s.telInflight[tenant]++
+	}
 	if !a.IsCXL() || s.cfg.DRAMOnly {
 		s.hostWrite(a, tenant, record, accepted)
 		return
@@ -683,6 +741,11 @@ func (s *System) astriRead(req *cpu.ReadReq, a mem.Addr) {
 		return
 	}
 	s.astriMiss(page, req.Tenant, req.Record)
+	if s.telInflight != nil {
+		// The request terminates here (it re-issues after the page
+		// lands, re-entering Read), so its in-flight count closes now.
+		s.telInflight[req.Tenant]--
+	}
 	// A host-cache miss triggers a user-level thread switch; the request
 	// re-issues after the page lands.
 	s.Eng.After(s.cfg.AstriSwitchCost/4, req.OnHint)

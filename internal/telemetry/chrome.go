@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"skybyte/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X"
+// complete events plus "M" metadata). Timestamps and durations are
+// microseconds, the format's native unit.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	TS   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	PID  int32           `json:"pid"`
+	TID  int32           `json:"tid"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usOf(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// trackNames labels the well-known pids in the viewer.
+var trackNames = map[int32]string{
+	RequestPID: "requests",
+	CorePID:    "cores",
+	MemoryPID:  "memory",
+}
+
+// WriteChromeTrace renders the snapshot's spans as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing. The output is a pure
+// function of the snapshot, so equal snapshots write equal bytes.
+func WriteChromeTrace(w io.Writer, snap *Snapshot) error {
+	tr := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	pids := make([]int32, 0, len(trackNames))
+	for pid := range trackNames {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		args, _ := json.Marshal(map[string]string{"name": trackNames[pid]})
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, Args: args,
+		})
+	}
+	for _, s := range snap.Spans {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: usOf(s.Start), Dur: usOf(s.Dur),
+			PID: s.PID, TID: s.TID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tr)
+}
+
+// ValidateChromeTrace parses trace-event JSON and checks the
+// structural contract our exporter promises: every non-metadata event
+// is a complete ("X") span with a name and non-negative timestamps,
+// and within each (pid, tid) track spans either nest or are disjoint —
+// a partial overlap means the parent/child structure is broken. It
+// returns the span and track counts for reporting.
+func ValidateChromeTrace(data []byte) (spans, tracks int, err error) {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return 0, 0, fmt.Errorf("telemetry: not trace-event JSON: %w", err)
+	}
+	type key struct{ pid, tid int32 }
+	byTrack := map[key][]chromeEvent{}
+	for i, e := range tr.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ph != "X" {
+			return 0, 0, fmt.Errorf("telemetry: event %d: phase %q (exporter emits only X and M)", i, e.Ph)
+		}
+		if e.Name == "" {
+			return 0, 0, fmt.Errorf("telemetry: event %d: empty name", i)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			return 0, 0, fmt.Errorf("telemetry: event %d (%s): negative ts/dur", i, e.Name)
+		}
+		k := key{e.PID, e.TID}
+		byTrack[k] = append(byTrack[k], e)
+		spans++
+	}
+	// Float microseconds round picosecond instants, so containment is
+	// checked with a one-picosecond tolerance.
+	const eps = 1e-6
+	for k, evs := range byTrack {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].TS != evs[j].TS {
+				return evs[i].TS < evs[j].TS
+			}
+			return evs[i].Dur > evs[j].Dur
+		})
+		var stack []chromeEvent
+		for _, e := range evs {
+			for len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if top.TS+top.Dur <= e.TS+eps {
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				break
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if e.TS+e.Dur > top.TS+top.Dur+eps {
+					return 0, 0, fmt.Errorf(
+						"telemetry: track pid=%d tid=%d: span %q [%g, %g] partially overlaps %q [%g, %g] (neither nested nor disjoint)",
+						k.pid, k.tid, e.Name, e.TS, e.TS+e.Dur, top.Name, top.TS, top.TS+top.Dur)
+				}
+			}
+			stack = append(stack, e)
+		}
+	}
+	return spans, len(byTrack), nil
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import "skybyte/internal/sim"
+
+// DefaultSeriesCap bounds each series at this many aggregate points.
+// With stride doubling, 256 points cover any run length: a run 2^k
+// times longer than the capacity horizon just carries points 2^k
+// cadences wide.
+const DefaultSeriesCap = 256
+
+// Point is one aggregate of consecutive samples: enough to recover
+// mean (Sum/Count), envelope (Min/Max), and the instantaneous tail
+// value (Last) at any downsampling level without ever re-reading the
+// raw samples.
+type Point struct {
+	// T is the instant of the first sample folded into this point.
+	T     sim.Time
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Last  float64
+}
+
+func mergePoints(a, b Point) Point {
+	m := Point{T: a.T, Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Min: a.Min, Max: a.Max, Last: b.Last}
+	if b.Min < m.Min {
+		m.Min = b.Min
+	}
+	if b.Max > m.Max {
+		m.Max = b.Max
+	}
+	return m
+}
+
+// Series accumulates samples into at most cap aggregate points. Each
+// point folds perPoint consecutive samples; when the point slice
+// reaches capacity, adjacent pairs merge and perPoint doubles — memory
+// stays O(cap) for any run length, and the operation is a pure
+// function of the sample sequence, so equal runs produce equal series.
+type Series struct {
+	cap      int
+	perPoint int
+	points   []Point
+	cur      Point
+	curN     int
+}
+
+// NewSeries builds a series bounded at capacity points (rounded up to
+// even, minimum 2 — compaction halves the slice).
+func NewSeries(capacity int) *Series {
+	if capacity < 2 {
+		capacity = DefaultSeriesCap
+	}
+	if capacity%2 != 0 {
+		capacity++
+	}
+	return &Series{cap: capacity, perPoint: 1}
+}
+
+// Add folds one sample taken at instant t.
+func (s *Series) Add(t sim.Time, v float64) {
+	if s.curN == 0 {
+		s.cur = Point{T: t, Count: 1, Sum: v, Min: v, Max: v, Last: v}
+	} else {
+		s.cur.Count++
+		s.cur.Sum += v
+		if v < s.cur.Min {
+			s.cur.Min = v
+		}
+		if v > s.cur.Max {
+			s.cur.Max = v
+		}
+		s.cur.Last = v
+	}
+	s.curN++
+	if s.curN == s.perPoint {
+		s.points = append(s.points, s.cur)
+		s.curN = 0
+		if len(s.points) == s.cap {
+			s.compact()
+		}
+	}
+}
+
+// compact merges adjacent point pairs and doubles the samples-per-point
+// stride, halving the slice.
+func (s *Series) compact() {
+	half := len(s.points) / 2
+	for i := 0; i < half; i++ {
+		s.points[i] = mergePoints(s.points[2*i], s.points[2*i+1])
+	}
+	s.points = s.points[:half]
+	s.perPoint *= 2
+}
+
+// Len returns the sealed point count (the partial tail point excluded).
+func (s *Series) Len() int { return len(s.points) }
+
+// SeriesDump is the serializable form of a series.
+type SeriesDump struct {
+	Name string
+	// Stride is the sim-time width of each sealed point: the sampling
+	// cadence times the samples folded per point at dump time (the
+	// tail point may hold fewer).
+	Stride sim.Time
+	Points []Point
+}
+
+// Dump freezes the series, flushing the partial tail point. The series
+// itself is not mutated, so Dump is safe to call more than once.
+func (s *Series) Dump(name string, cadence sim.Time) SeriesDump {
+	d := SeriesDump{Name: name, Stride: cadence * sim.Time(s.perPoint)}
+	d.Points = append(d.Points, s.points...)
+	if s.curN > 0 {
+		d.Points = append(d.Points, s.cur)
+	}
+	return d
+}
+
+// Mean returns the sample mean over points of d whose start instant
+// lies in [from, to), or 0 when the range holds no samples.
+func (d *SeriesDump) Mean(from, to sim.Time) float64 {
+	var sum float64
+	var n uint64
+	for _, p := range d.Points {
+		if p.T >= from && p.T < to {
+			sum += p.Sum
+			n += p.Count
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Max returns the sample maximum over points of d whose start instant
+// lies in [from, to), or 0 when the range holds no samples.
+func (d *SeriesDump) Max(from, to sim.Time) float64 {
+	var max float64
+	seen := false
+	for _, p := range d.Points {
+		if p.T >= from && p.T < to {
+			if !seen || p.Max > max {
+				max = p.Max
+			}
+			seen = true
+		}
+	}
+	return max
+}

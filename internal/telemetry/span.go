@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"sort"
+
+	"skybyte/internal/sim"
+	"skybyte/internal/stats"
+)
+
+// Track (pid) assignments of the exported timeline. Spans within one
+// (pid, tid) pair either nest or are disjoint — the invariant the
+// timeline validator enforces — so concurrent activities live on
+// distinct tracks.
+const (
+	// RequestPID tracks open-loop request lifecycles: per gated thread
+	// (tid = thread ID), a "queued" span from arrival to admission and
+	// a "service" span from admission to completion.
+	RequestPID = 1
+	// CorePID tracks coordinated context switches, one tid per core.
+	CorePID = 2
+	// MemoryPID tracks off-chip reads: a "read" parent span with
+	// sequential cxl/log-index/ssd-dram/flash child segments, slotted
+	// onto tids so overlapping reads never share one (see the slot
+	// allocator in internal/system).
+	MemoryPID = 3
+)
+
+// DefaultSpanCap bounds a timeline at this many spans; overflow is
+// counted, not stored, so span memory is bounded on long runs.
+const DefaultSpanCap = 1 << 17
+
+// Span is one completed interval of the timeline.
+type Span struct {
+	Name  string
+	Cat   string
+	PID   int32
+	TID   int32
+	Start sim.Time
+	Dur   sim.Time
+}
+
+// End returns the span's end instant.
+func (s Span) End() sim.Time { return s.Start + s.Dur }
+
+// SpanRecorder accumulates completed spans up to a fixed capacity.
+// All mutation happens on the owning System's event loop.
+type SpanRecorder struct {
+	cap     int
+	spans   []Span
+	Dropped uint64
+}
+
+// NewSpanRecorder builds a recorder holding at most capacity spans
+// (DefaultSpanCap when non-positive).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &SpanRecorder{cap: capacity}
+}
+
+// Add records one completed span [start, end). Ends before starts
+// clamp to zero duration; spans beyond the capacity are counted into
+// Dropped and discarded.
+func (sr *SpanRecorder) Add(name, cat string, pid, tid int32, start, end sim.Time) {
+	if len(sr.spans) >= sr.cap {
+		sr.Dropped++
+		return
+	}
+	if end < start {
+		end = start
+	}
+	sr.spans = append(sr.spans, Span{Name: name, Cat: cat, PID: pid, TID: tid, Start: start, Dur: end - start})
+}
+
+// Len returns the recorded span count.
+func (sr *SpanRecorder) Len() int { return len(sr.spans) }
+
+// Sorted returns the spans in canonical order: start ascending, then
+// pid, tid, duration descending (a parent precedes children sharing
+// its start), then name. Spans complete out of start order (they are
+// recorded at their end), so the sort is what makes equal simulations
+// serialize to equal bytes.
+func (sr *SpanRecorder) Sorted() []Span {
+	out := append([]Span(nil), sr.spans...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// ClassTrack is one SLO class's live telemetry state, shared by every
+// gate of the class: the in-flight request count and a latency
+// histogram the windowed-percentile probe drains each sampling tick.
+// A nil *ClassTrack on a gate means telemetry is off (the hooks cost
+// one nil check).
+type ClassTrack struct {
+	Inflight int
+	Window   stats.LatencyHist
+}
+
+// WindowedPercentileUS drains the window: it returns the p-th
+// percentile of the latencies observed since the previous call, in
+// microseconds (0 for an empty window), and resets the histogram so
+// the next sampling tick sees only its own window.
+func (c *ClassTrack) WindowedPercentileUS(p float64) float64 {
+	if c.Window.Count() == 0 {
+		return 0
+	}
+	v := float64(c.Window.Percentile(p)) / float64(sim.Microsecond)
+	c.Window.Reset()
+	return v
+}

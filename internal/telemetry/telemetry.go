@@ -1,0 +1,143 @@
+// Package telemetry adds time-resolved visibility to a simulation:
+// named probes sampled on a fixed sim-time cadence into fixed-capacity
+// downsampling time-series, and a request-lifecycle span recorder that
+// exports Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing). Both ride inside Result.Telemetry, so they flow
+// through the persistent store and are byte-identical at any
+// parallelism like every other measurement.
+//
+// The package is built around the zero-cost-when-off contract: a
+// simulation that does not enable telemetry carries only nil pointers
+// at the hook sites (one nil check per hook, no allocations — pinned
+// by TestColdRunAllocsBudget and cmd/benchgate), and the sampler
+// schedules no events, so the disabled event order is bit-identical to
+// a build without the package.
+package telemetry
+
+import "skybyte/internal/sim"
+
+// Recorder owns one simulation's telemetry: the probe registry, the
+// engine-driven sampler, and (optionally) the span recorder. A
+// Recorder belongs to exactly one System and is driven entirely from
+// its event loop — no locking, no package-level state.
+type Recorder struct {
+	eng     *sim.Engine
+	cadence sim.Time
+	samples uint64
+	probes  []probe
+	spans   *SpanRecorder
+}
+
+type probe struct {
+	name string
+	fn   func() float64
+	s    *Series
+}
+
+// New builds a recorder sampling every cadence of simulated time.
+func New(eng *sim.Engine, cadence sim.Time) *Recorder {
+	if cadence <= 0 {
+		panic("telemetry: non-positive sampling cadence")
+	}
+	return &Recorder{eng: eng, cadence: cadence}
+}
+
+// Cadence returns the sampling period.
+func (r *Recorder) Cadence() sim.Time { return r.cadence }
+
+// Register adds a probe. fn is invoked once per sampling tick, on the
+// event loop, and must be cheap and side-effect-free except for
+// window-reset semantics the probe itself owns (e.g. a windowed
+// percentile that drains its histogram). Registration order is the
+// series order in the snapshot, so callers must register
+// deterministically.
+func (r *Recorder) Register(name string, fn func() float64) {
+	r.probes = append(r.probes, probe{name: name, fn: fn, s: NewSeries(DefaultSeriesCap)})
+}
+
+// EnableSpans attaches a span recorder with the given capacity
+// (DefaultSpanCap when zero or negative) and returns it. Idempotent.
+func (r *Recorder) EnableSpans(capacity int) *SpanRecorder {
+	if r.spans == nil {
+		r.spans = NewSpanRecorder(capacity)
+	}
+	return r.spans
+}
+
+// Spans returns the span recorder, nil unless EnableSpans was called.
+func (r *Recorder) Spans() *SpanRecorder { return r.spans }
+
+// hSample drives the sampler off the event engine (p1 = *Recorder).
+// Assigned in init rather than at declaration: sample reschedules
+// through hSample, and a var initializer would be a cycle.
+var hSample sim.HandlerID
+
+func init() {
+	hSample = sim.RegisterHandler(func(_ uint64, p1, _ any) {
+		p1.(*Recorder).sample()
+	})
+}
+
+// Start schedules the first sampling tick one cadence from now. Call
+// after every probe is registered, immediately before the engine runs.
+func (r *Recorder) Start() {
+	r.eng.AfterH(r.cadence, hSample, 0, r, nil)
+}
+
+// sample reads every probe, then reschedules itself — but only while
+// other work remains. The engine's Run loop terminates when its queue
+// empties; an unconditionally rescheduling sampler would keep the
+// queue non-empty forever. When the sampler's own event was the last
+// one, the simulation is over and the tick chain ends with it.
+func (r *Recorder) sample() {
+	now := r.eng.Now()
+	for i := range r.probes {
+		p := &r.probes[i]
+		p.s.Add(now, p.fn())
+	}
+	r.samples++
+	if r.eng.Pending() > 0 {
+		r.eng.AfterH(r.cadence, hSample, 0, r, nil)
+	}
+}
+
+// Snapshot is the serializable form of a recorder: what Result.Telemetry
+// carries. Field order is the canonical JSON order (EncodeResult).
+type Snapshot struct {
+	// Cadence is the sampling period; Samples the tick count taken.
+	Cadence sim.Time
+	Samples uint64
+	// Series holds one dump per probe, in registration order.
+	Series []SeriesDump
+	// Spans is the sorted request-lifecycle timeline (timeline runs
+	// only); DroppedSpans counts overflow beyond the recorder cap.
+	Spans        []Span `json:",omitempty"`
+	DroppedSpans uint64 `json:",omitempty"`
+}
+
+// Snapshot freezes the recorder into its serializable form. The
+// partial tail point of each series is flushed, and spans are sorted
+// canonically (start, pid, tid, longest-first), so equal simulations
+// snapshot to equal bytes.
+func (r *Recorder) Snapshot() *Snapshot {
+	snap := &Snapshot{Cadence: r.cadence, Samples: r.samples}
+	for i := range r.probes {
+		p := &r.probes[i]
+		snap.Series = append(snap.Series, p.s.Dump(p.name, r.cadence))
+	}
+	if r.spans != nil {
+		snap.Spans = r.spans.Sorted()
+		snap.DroppedSpans = r.spans.Dropped
+	}
+	return snap
+}
+
+// SeriesByName returns the named series dump, or nil.
+func (t *Snapshot) SeriesByName(name string) *SeriesDump {
+	for i := range t.Series {
+		if t.Series[i].Name == name {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}

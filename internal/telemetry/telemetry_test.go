@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"skybyte/internal/sim"
+)
+
+// TestSeriesFoldsAndCompacts drives a series past its capacity and
+// checks the stride-doubling downsampling: memory stays bounded, the
+// aggregates (count, sum, min, max, last) stay exact, and the dump is
+// a pure function of the sample sequence.
+func TestSeriesFoldsAndCompacts(t *testing.T) {
+	const cap = 8
+	s := NewSeries(cap)
+	cadence := sim.Microsecond
+	n := 100 // far beyond cap: forces several compactions
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := float64(i % 17)
+		s.Add(sim.Time(i)*cadence, v)
+		sum += v
+	}
+	d := s.Dump("x", cadence)
+	if len(d.Points) > cap {
+		t.Fatalf("dump has %d points, capacity %d", len(d.Points), cap)
+	}
+	var count uint64
+	var total float64
+	for _, p := range d.Points {
+		count += p.Count
+		total += p.Sum
+	}
+	if count != uint64(n) {
+		t.Fatalf("points fold %d samples, want %d", count, n)
+	}
+	if math.Abs(total-sum) > 1e-9 {
+		t.Fatalf("points sum to %g, want %g", total, sum)
+	}
+	// Stride reflects the doubling: with 100 samples and 8 points it
+	// must be a power-of-two multiple of the cadence covering them.
+	if d.Stride%cadence != 0 || d.Stride < cadence {
+		t.Fatalf("stride %v not a multiple of cadence %v", d.Stride, cadence)
+	}
+	if d.Points[0].T != 0 {
+		t.Fatalf("first point at %v, want 0", d.Points[0].T)
+	}
+	if last := d.Points[len(d.Points)-1].Last; last != float64((n-1)%17) {
+		t.Fatalf("tail Last = %g, want %g", last, float64((n-1)%17))
+	}
+
+	// Determinism: replaying the same samples dumps the same bytes.
+	s2 := NewSeries(cap)
+	for i := 0; i < n; i++ {
+		s2.Add(sim.Time(i)*cadence, float64(i%17))
+	}
+	b1, _ := json.Marshal(d)
+	b2, _ := json.Marshal(s2.Dump("x", cadence))
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("equal sample sequences dumped different bytes")
+	}
+}
+
+// TestSeriesDumpDoesNotMutate checks Dump's partial-tail flush leaves
+// the series unchanged, so snapshotting twice is safe.
+func TestSeriesDumpDoesNotMutate(t *testing.T) {
+	s := NewSeries(4)
+	s.Add(0, 1)
+	d1 := s.Dump("x", sim.Microsecond)
+	d2 := s.Dump("x", sim.Microsecond)
+	if len(d1.Points) != 1 || len(d2.Points) != 1 {
+		t.Fatalf("dumps have %d and %d points, want 1 and 1", len(d1.Points), len(d2.Points))
+	}
+	s.Add(sim.Microsecond, 3)
+	d3 := s.Dump("x", sim.Microsecond)
+	if len(d3.Points) == 0 || d3.Points[0].Count != 1 {
+		t.Fatal("later samples corrupted by earlier Dump")
+	}
+}
+
+// TestSeriesMeanMax exercises the windowed reduction helpers figopen's
+// telemetry table uses.
+func TestSeriesMeanMax(t *testing.T) {
+	s := NewSeries(64)
+	for i := 0; i < 10; i++ {
+		s.Add(sim.Time(i)*sim.Microsecond, float64(i))
+	}
+	d := s.Dump("x", sim.Microsecond)
+	from, to := 2*sim.Microsecond, 5*sim.Microsecond // samples 2,3,4
+	if got := d.Mean(from, to); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("Mean = %g, want 3", got)
+	}
+	if got := d.Max(from, to); got != 4 {
+		t.Fatalf("Max = %g, want 4", got)
+	}
+	if got := d.Mean(100*sim.Microsecond, 200*sim.Microsecond); got != 0 {
+		t.Fatalf("Mean of empty range = %g, want 0", got)
+	}
+}
+
+// TestSpanRecorderCapAndOrder checks the overflow counter and the
+// canonical sort (start asc, pid, tid, longest-first so parents sort
+// before their same-start children).
+func TestSpanRecorderCapAndOrder(t *testing.T) {
+	r := NewSpanRecorder(2)
+	r.Add("b", "c", 1, 0, 10, 20)
+	r.Add("a", "c", 1, 0, 10, 30) // same start, longer: sorts first
+	r.Add("c", "c", 1, 0, 40, 50) // beyond cap: dropped
+	if r.Len() != 2 {
+		t.Fatalf("recorder holds %d spans, want 2", r.Len())
+	}
+	if r.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped)
+	}
+	spans := r.Sorted()
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("sorted order %q, %q; want a, b", spans[0].Name, spans[1].Name)
+	}
+}
+
+// TestRecorderSamplesOnCadence runs a sampler against a toy event load
+// and checks the probe is read once per elapsed cadence and that the
+// tick chain ends with the last real event (the engine terminates).
+func TestRecorderSamplesOnCadence(t *testing.T) {
+	var eng sim.Engine
+	rec := New(&eng, sim.Microsecond)
+	var reads int
+	rec.Register("ticks", func() float64 { reads++; return float64(reads) })
+	// One real event at 10µs keeps the queue non-empty through ten ticks.
+	eng.At(10*sim.Microsecond, func() {})
+	rec.Start()
+	eng.Run()
+	// Ticks at 1..9µs see the pending event and reschedule; the tick at
+	// 10µs (fired after the event at equal time or as the last entry)
+	// ends the chain.
+	if reads < 9 || reads > 11 {
+		t.Fatalf("probe read %d times, want ~10", reads)
+	}
+	snap := rec.Snapshot()
+	if snap.Samples != uint64(reads) {
+		t.Fatalf("Samples = %d, probe reads = %d", snap.Samples, reads)
+	}
+	if s := snap.SeriesByName("ticks"); s == nil || len(s.Points) == 0 {
+		t.Fatal("snapshot missing the registered series")
+	}
+	if snap.SeriesByName("nope") != nil {
+		t.Fatal("SeriesByName invented a series")
+	}
+}
+
+// TestChromeTraceRoundTrip writes a well-formed timeline and validates
+// it, then checks the validator rejects partial overlap on one track.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := NewSpanRecorder(0)
+	// Parent with nested children on the memory track, a disjoint span
+	// on another tid, and a request-track span.
+	r.Add("read", "memory", MemoryPID, 0, 0, 100)
+	r.Add("cxl", "memory", MemoryPID, 0, 0, 40)
+	r.Add("flash", "memory", MemoryPID, 0, 40, 100)
+	r.Add("read", "memory", MemoryPID, 1, 50, 200)
+	r.Add("service", "request", RequestPID, 3, 10, 90)
+	snap := &Snapshot{Cadence: sim.Microsecond, Spans: r.Sorted()}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	spans, tracks, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("valid timeline rejected: %v", err)
+	}
+	if spans != 5 {
+		t.Fatalf("validator saw %d spans, want 5", spans)
+	}
+	if tracks != 3 { // (mem,0), (mem,1), (req,3)
+		t.Fatalf("validator saw %d tracks, want 3", tracks)
+	}
+
+	// The emitted JSON is a valid chrome trace object.
+	var obj struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(obj.TraceEvents) < 5 {
+		t.Fatalf("timeline has %d events, want >= 5", len(obj.TraceEvents))
+	}
+}
+
+// TestValidateRejectsPartialOverlap feeds the validator two spans on
+// one track that overlap without nesting, which a correct span emitter
+// must never produce.
+func TestValidateRejectsPartialOverlap(t *testing.T) {
+	r := NewSpanRecorder(0)
+	r.Add("a", "x", 1, 0, 0, 100)
+	r.Add("b", "x", 1, 0, 50, 150) // starts inside a, ends outside
+	snap := &Snapshot{Spans: r.Sorted()}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ValidateChromeTrace(buf.Bytes()); err == nil {
+		t.Fatal("validator accepted partially overlapping spans")
+	}
+}
+
+// TestClassTrackWindow checks the windowed percentile drains between
+// reads.
+func TestClassTrackWindow(t *testing.T) {
+	var tr ClassTrack
+	tr.Window.Observe(10 * sim.Microsecond)
+	tr.Window.Observe(20 * sim.Microsecond)
+	p := tr.WindowedPercentileUS(99)
+	if p < 15 || p > 25 {
+		t.Fatalf("windowed p99 = %g µs, want ~20", p)
+	}
+	if got := tr.WindowedPercentileUS(99); got != 0 {
+		t.Fatalf("second read = %g, want 0 (window drained)", got)
+	}
+}

@@ -5,7 +5,9 @@
 // PIN-captured traces). Three formats are supported:
 //
 //   - champsim — ChampSim's binary instruction trace (64-byte records;
-//     plain or gzip-compressed);
+//     plain or gzip-compressed); a directory or glob of per-CPU trace
+//     files imports as one multi-thread trace, one real stream per
+//     core file;
 //   - damon — DAMON/damo "raw" monitoring dumps (text region
 //     snapshots with access counts);
 //   - cachegrind — cachegrind/lackey-style address logs (text lines
@@ -70,76 +72,142 @@ func Formats() []string {
 	return out
 }
 
-// ParseSpec splits a CLI import spec of the form "<format>:<path>"
-// (e.g. "champsim:traces/600.perlbench.trace"), rejecting unknown
-// formats with the valid list.
-func ParseSpec(spec string) (format, path string, err error) {
-	format, path, ok := strings.Cut(spec, ":")
-	if !ok || path == "" {
-		return "", "", fmt.Errorf("traceimport: invalid import spec %q; want <format>:<path>, formats: %s",
-			spec, strings.Join(Formats(), ", "))
-	}
-	if _, known := converters[format]; !known {
-		return "", "", fmt.Errorf("traceimport: unknown format %q (valid: %s)", format, strings.Join(Formats(), ", "))
-	}
-	return format, path, nil
+// extFormats maps recognized source-file extensions to their format,
+// for specs that give a bare path instead of "<format>:<path>".
+var extFormats = map[string]string{
+	".champsimtrace": "champsim",
+	".champsim":      "champsim",
+	".damon":         "damon",
+	".cachegrind":    "cachegrind",
+	".cg":            "cachegrind",
 }
 
-// importStream runs one converter pass, pushing every normalized
-// record into sink as it is parsed, and returns the trace meta
-// assembled from what the pass observed (footprint, write ratio,
-// source digest). The caller chooses what the sink does with the
-// records; importStream itself holds none of them.
-func importStream(format, path string, sink func(trace.Record) error) (trace.Meta, error) {
+// DetectFormat infers the import format from the path's extension
+// (a trailing ".gz" is transparent — the ChampSim reader decompresses
+// it). An unrecognized extension is an error listing the valid set:
+// guessing a format from ambiguous bytes would silently misparse, so
+// detection never falls back to a default.
+func DetectFormat(path string) (string, error) {
+	base := filepath.Base(path)
+	ext := filepath.Ext(base)
+	if ext == ".gz" {
+		ext = filepath.Ext(strings.TrimSuffix(base, ext))
+	}
+	if f, ok := extFormats[strings.ToLower(ext)]; ok {
+		return f, nil
+	}
+	exts := make([]string, 0, len(extFormats))
+	for e := range extFormats {
+		exts = append(exts, e)
+	}
+	sort.Strings(exts)
+	return "", fmt.Errorf("traceimport: cannot infer a format from %q (recognized extensions: %s); say it explicitly as <format>:<path>, formats: %s",
+		base, strings.Join(exts, ", "), strings.Join(Formats(), ", "))
+}
+
+// ParseSpec resolves a CLI import spec: either "<format>:<path>"
+// (e.g. "champsim:traces/600.perlbench.trace"), rejecting unknown
+// formats with the valid list, or a bare path whose format is inferred
+// from its extension (DetectFormat — loud failure on unrecognized
+// extensions, never a silent default).
+func ParseSpec(spec string) (format, path string, err error) {
+	if format, path, ok := strings.Cut(spec, ":"); ok && path != "" {
+		if _, known := converters[format]; known {
+			return format, path, nil
+		}
+		if !strings.ContainsAny(format, "./*?[") {
+			// Looks like a format prefix, just not a supported one —
+			// e.g. a typo, or "pin:trace.out". A path-with-colon (or a
+			// glob) falls through to extension detection instead.
+			return "", "", fmt.Errorf("traceimport: unknown format %q (valid: %s)", format, strings.Join(Formats(), ", "))
+		}
+	}
+	format, err = DetectFormat(spec)
+	if err != nil {
+		return "", "", err
+	}
+	return format, spec, nil
+}
+
+// passStats is what one converter pass over one source file observed:
+// the record mix, the emitted count, and the source digest.
+type passStats struct {
+	loads, stores uint64
+	records       uint64
+	digest        string // sha256 of the source file, hex
+}
+
+// importOne runs one converter pass over one source file, pushing
+// every normalized record into sink as it is parsed. The normalizer is
+// the caller's: a multi-file import shares one, so pages common to
+// several per-CPU traces rebase to the same arena page.
+func importOne(format, path string, norm *normalizer, sink func(trace.Record) error) (passStats, error) {
 	conv, ok := converters[format]
 	if !ok {
-		return trace.Meta{}, fmt.Errorf("traceimport: unknown format %q (valid: %s)", format, strings.Join(Formats(), ", "))
+		return passStats{}, fmt.Errorf("traceimport: unknown format %q (valid: %s)", format, strings.Join(Formats(), ", "))
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return trace.Meta{}, fmt.Errorf("traceimport: %w", err)
+		return passStats{}, fmt.Errorf("traceimport: %w", err)
 	}
 	defer f.Close()
 	// Hash the source as the parser consumes it: the digest in Origin
 	// is of the exact bytes that produced the records.
 	h := sha256.New()
-	norm := newNormalizer()
-	var loads, stores uint64
+	var st passStats
 	e := &emitter{sink: func(r trace.Record) error {
 		switch r.Kind {
 		case trace.Load, trace.LoadDep:
-			loads++
+			st.loads++
 		case trace.Store:
-			stores++
+			st.stores++
 		}
 		return sink(r)
 	}}
 	if err := conv(io.TeeReader(f, h), norm, e); err != nil {
-		return trace.Meta{}, fmt.Errorf("traceimport: %s: %s: %w", format, path, err)
+		return passStats{}, fmt.Errorf("traceimport: %s: %s: %w", format, path, err)
 	}
 	// Drain whatever the parser did not consume (e.g. nothing, for the
 	// text formats) so the digest always covers the whole file.
 	if _, err := io.Copy(h, f); err != nil {
-		return trace.Meta{}, fmt.Errorf("traceimport: %s: %w", path, err)
+		return passStats{}, fmt.Errorf("traceimport: %s: %w", path, err)
 	}
 	if e.count == 0 {
-		return trace.Meta{}, fmt.Errorf("traceimport: %s: %s holds no convertible records", format, path)
+		return passStats{}, fmt.Errorf("traceimport: %s: %s holds no convertible records", format, path)
 	}
-	writeRatio := 0.0
-	if loads+stores > 0 {
-		writeRatio = float64(stores) / float64(loads+stores)
+	st.records = e.count
+	st.digest = hex.EncodeToString(h.Sum(nil))
+	return st, nil
+}
+
+// importStream runs one single-file converter pass and returns the
+// trace meta assembled from what the pass observed (footprint, write
+// ratio, source digest). The caller chooses what the sink does with
+// the records; importStream itself holds none of them.
+func importStream(format, path string, sink func(trace.Record) error) (trace.Meta, error) {
+	norm := newNormalizer()
+	st, err := importOne(format, path, norm, sink)
+	if err != nil {
+		return trace.Meta{}, err
 	}
 	return trace.Meta{
 		Workload:       format + ":" + sanitizeName(filepath.Base(path)),
 		FootprintPages: norm.footprintPages(),
-		WriteRatio:     writeRatio,
+		WriteRatio:     st.writeRatio(),
 		Origin: &trace.Origin{
 			Format:       format,
 			Source:       filepath.Base(path),
-			SourceDigest: hex.EncodeToString(h.Sum(nil)),
+			SourceDigest: st.digest,
 			Converter:    ConverterVersion,
 		},
 	}, nil
+}
+
+func (st *passStats) writeRatio() float64 {
+	if st.loads+st.stores == 0 {
+		return 0
+	}
+	return float64(st.stores) / float64(st.loads+st.stores)
 }
 
 // Import converts the external trace at path into an in-memory Trace
@@ -173,6 +241,47 @@ type Encoded struct {
 	Records uint64
 }
 
+// expandSources resolves an import path that may name a set of files:
+// a glob pattern (any of * ? [) or a directory expands to its regular
+// files, sorted by name; a plain file is itself. ChampSim publishes
+// per-CPU trace sets as one file per core, and sorted-name order is
+// the cpu0..cpuN convention those sets use.
+func expandSources(path string) ([]string, error) {
+	if strings.ContainsAny(path, "*?[") {
+		matches, err := filepath.Glob(path)
+		if err != nil {
+			return nil, fmt.Errorf("traceimport: bad glob %q: %w", path, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("traceimport: glob %q matches no files", path)
+		}
+		sort.Strings(matches)
+		return matches, nil
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("traceimport: %w", err)
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, fmt.Errorf("traceimport: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			files = append(files, filepath.Join(path, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("traceimport: directory %q holds no files", path)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
 // ImportEncoded converts the external trace at path directly into
 // encoded .trc bytes at the given codec version, streaming each
 // record into the block writer as it is parsed. Peak heap tracks the
@@ -180,15 +289,61 @@ type Encoded struct {
 // not the 16 B/record of a materialized conversion — so multi-gigabyte
 // published traces import without a matching memory budget. The bytes
 // are identical to EncodeTraceVersion(Import(...)) by construction.
+//
+// For champsim, path may be a directory or a glob of per-CPU trace
+// files: each file (sorted by name, the cpu0..cpuN convention) becomes
+// one real thread stream, sharing a single address normalizer so pages
+// common to several cores rebase to the same arena page. The other
+// formats carry no per-CPU convention and stay single-file.
 func ImportEncoded(format, path string, version int) (*Encoded, error) {
+	files, err := expandSources(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) > 1 && format != "champsim" {
+		return nil, fmt.Errorf("traceimport: %s: %q names %d files; per-CPU multi-file sets are a champsim convention (other formats take one file)",
+			format, path, len(files))
+	}
 	enc, err := trace.NewStreamEncoder(version)
 	if err != nil {
 		return nil, err
 	}
-	enc.BeginThread() // all current converters emit a single thread-0 stream
-	meta, err := importStream(format, path, enc.Append)
-	if err != nil {
-		return nil, err
+	var meta trace.Meta
+	if len(files) == 1 {
+		enc.BeginThread() // single-source converters emit one thread-0 stream
+		meta, err = importStream(format, files[0], enc.Append)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Multi-file: one thread per file, one shared normalizer, and a
+		// combined digest folding every per-file digest in thread order
+		// — any edited, added, removed, or reordered source file changes
+		// the provenance and re-keys the design points replaying it.
+		norm := newNormalizer()
+		var agg passStats
+		comb := sha256.New()
+		for _, f := range files {
+			enc.BeginThread()
+			st, err := importOne(format, f, norm, enc.Append)
+			if err != nil {
+				return nil, err
+			}
+			agg.loads += st.loads
+			agg.stores += st.stores
+			fmt.Fprintf(comb, "%s %s\n", st.digest, filepath.Base(f))
+		}
+		meta = trace.Meta{
+			Workload:       format + ":" + sanitizeName(filepath.Base(path)),
+			FootprintPages: norm.footprintPages(),
+			WriteRatio:     agg.writeRatio(),
+			Origin: &trace.Origin{
+				Format:       format,
+				Source:       fmt.Sprintf("%s (%d files)", filepath.Base(path), len(files)),
+				SourceDigest: hex.EncodeToString(comb.Sum(nil)),
+				Converter:    ConverterVersion,
+			},
+		}
 	}
 	data, err := enc.Finish(meta)
 	if err != nil {

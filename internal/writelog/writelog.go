@@ -107,6 +107,15 @@ func (l *Log) Len() int { return l.len }
 // Full reports whether the next append would not fit.
 func (l *Log) Full() bool { return l.len >= l.capacity }
 
+// Occupancy returns the filled fraction of the log in [0, 1] — the
+// value the write-log telemetry probe samples.
+func (l *Log) Occupancy() float64 {
+	if l.capacity == 0 {
+		return 0
+	}
+	return float64(l.len) / float64(l.capacity)
+}
+
 // Stats returns a copy of the counters.
 func (l *Log) Stats() Stats { return l.stats }
 
