@@ -13,6 +13,8 @@
 //	skybyte-bench -figure figmix -mix-file mix.json -mix my-mix
 //	skybyte-bench -figure figopen      # open-loop traffic study (arrival processes)
 //	skybyte-bench -figure figopen -arrival-file traffic.json -arrival my-traffic
+//	skybyte-bench -figure figfleet     # cluster-scale fleet K-sweep (DESIGN.md §9)
+//	skybyte-bench -figure figfleet -devices 1,4 -placement striped,hotcold
 //	skybyte-bench -workload-file my.json          # file workload joins the campaign
 //	skybyte-bench -workload-file my.json -workloads my-name -figure fig14
 //	skybyte-bench -config              # print the Table II configurations
@@ -36,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -43,6 +46,7 @@ import (
 	"skybyte"
 	"skybyte/internal/arrival"
 	"skybyte/internal/experiments"
+	"skybyte/internal/fleet"
 	"skybyte/internal/runner"
 	"skybyte/internal/stats"
 	"skybyte/internal/system"
@@ -73,6 +77,8 @@ func main() {
 	})
 	var (
 		mixCSV      = flag.String("mix", "", "comma-separated mix subset for the figmix fairness table (default: all built-in and -mix-file mixes)")
+		devCSV      = flag.String("devices", "", "comma-separated device counts for the figfleet K-sweep (default: 1,2,4,8; each 1..16)")
+		placeCSV    = flag.String("placement", "", "comma-separated placement-policy subset for the figfleet sweep (default: striped,capacity,hotcold)")
 		arrCSV      = flag.String("arrival", "", "comma-separated arrival-spec subset for the figopen open-loop table (default: all built-in and -arrival-file specs)")
 		tenantRows  = flag.Bool("tenant-rows", false, "extend figures 14/16/17 with per-tenant rows: each -mix runs co-located and every tenant contributes a mix/tenant row")
 		telRows     = flag.Bool("telemetry", false, "time-resolved figopen: sample in-simulator probes during every open-loop run and report write-log occupancy and per-class windowed p99 per intensity window")
@@ -177,6 +183,31 @@ func main() {
 	}
 	opt.TenantRows = *tenantRows
 	opt.Telemetry = *telRows
+	// The figfleet axes reject unknown values upfront listing the valid
+	// set, like every other name flag: a typo must not leave a partially
+	// executed campaign behind.
+	if *devCSV != "" {
+		opt.FleetDevices = nil
+		for _, field := range strings.Split(*devCSV, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || k < 1 || k > fleet.MaxDevices {
+				fmt.Fprintf(os.Stderr, "-devices: invalid device count %q (valid: 1..%d, comma-separated)\n", field, fleet.MaxDevices)
+				os.Exit(2)
+			}
+			opt.FleetDevices = append(opt.FleetDevices, k)
+		}
+	}
+	if *placeCSV != "" {
+		opt.FleetPlacements = nil
+		for _, field := range strings.Split(*placeCSV, ",") {
+			p, err := fleet.ParsePolicy(strings.TrimSpace(field))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			opt.FleetPlacements = append(opt.FleetPlacements, string(p))
+		}
+	}
 	// Validate every workload, mix, and figure name before any
 	// simulation runs: a typo must not leave a partially executed
 	// campaign behind.

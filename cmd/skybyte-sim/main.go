@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"skybyte"
+	"skybyte/internal/fleet"
 	"skybyte/internal/osched"
 	"skybyte/internal/runner"
 	"skybyte/internal/sim"
@@ -63,6 +64,8 @@ func main() {
 		threads   = flag.Int("threads", 0, "software threads (0 = paper default: 24 with context switch, 8 otherwise)")
 		instr     = flag.Uint64("instr", 16000, "instructions per thread")
 		seed      = flag.Uint64("seed", 1, "workload seed")
+		devices   = flag.Int("devices", 0, "wire a fleet of this many CXL-SSDs behind the placement layer (0 = the single-device machine; max 16); prints per-device fleet-dev rows")
+		placement = flag.String("placement", "", "with -devices >= 2: fleet placement policy (striped, capacity, hotcold; default striped)")
 		threshold = flag.Duration("cs-threshold", 2*time.Microsecond, "context-switch trigger threshold (artifact knob cs_threshold)")
 		policy    = flag.String("policy", "FAIRNESS", "scheduling policy: RR, RANDOM, FAIRNESS (artifact knob t_policy)")
 		cacheMB   = flag.Int("ssd-dram-mb", 0, "override total SSD DRAM size in MiB (artifact knob ssd_cache_size_byte)")
@@ -165,6 +168,18 @@ func main() {
 	} else if _, err := system.ParseVariant(*variant); err != nil {
 		fail(err)
 	}
+	// Fleet flags reject unknown values upfront, listing the valid set
+	// (the same convention as -variant), before anything simulates.
+	if *devices != 0 {
+		if err := fleet.Validate(*devices, *placement); err != nil {
+			fail(err)
+		}
+	} else if *placement != "" {
+		fail(fmt.Errorf("-placement %q requires -devices >= 2 (valid policies: %s)", *placement, strings.Join(fleet.PolicyNames(), ", ")))
+	}
+	if *placement != "" && *devices < 2 {
+		fail(fmt.Errorf("-placement %q needs a fleet to place across; use -devices 2..%d", *placement, fleet.MaxDevices))
+	}
 	if *timeline != "" && *telDur <= 0 {
 		fail(fmt.Errorf("-timeline records spans on the telemetry sampler; it requires -telemetry <cadence>"))
 	}
@@ -229,23 +244,29 @@ func main() {
 		return r
 	}
 
+	// Devices/Placement are spec identity, not knob-tag material: the
+	// runner folds them into the store key (DESIGN.md §9), so they ride
+	// on every Spec below rather than in knobTag.
+	flt := fleetFlags{devices: *devices, placement: *placement}
+
 	if *variants != "" {
-		compareVariants(newRunner(*parallel), base, w, variantList, *threads, *instr, knobTag, knobs, shardI, shardN, *shardSpec != "")
+		compareVariants(newRunner(*parallel), base, w, variantList, *threads, *instr, knobTag, knobs, flt, shardI, shardN, *shardSpec != "")
 		return
 	}
 
 	if *mixName != "" {
-		runMix(newRunner(1), base, mix, skybyte.Variant(*variant), *instr, *seed, *cacheDir != "", knobTag, knobs, *timeline)
+		runMix(newRunner(1), base, mix, skybyte.Variant(*variant), *instr, *seed, *cacheDir != "", knobTag, knobs, flt, *timeline)
 		return
 	}
 
 	if *arrName != "" {
-		runArrival(newRunner(1), base, arr, skybyte.Variant(*variant), *instr, *seed, *arrScale, *cacheDir != "", knobTag, knobs, *timeline)
+		runArrival(newRunner(1), base, arr, skybyte.Variant(*variant), *instr, *seed, *arrScale, *cacheDir != "", knobTag, knobs, flt, *timeline)
 		return
 	}
 
 	cfg := base.WithVariant(skybyte.Variant(*variant))
 	knobs(&cfg)
+	flt.apply(&cfg)
 	n := *threads
 	if n == 0 {
 		// Same paper default as the comparison path, so both modes
@@ -265,6 +286,8 @@ func main() {
 			Variant:    skybyte.Variant(*variant),
 			TotalInstr: *instr * uint64(n),
 			Threads:    n,
+			Devices:    flt.devices,
+			Placement:  flt.placement,
 			Tag:        knobTag,
 			Mutate:     knobs,
 		})
@@ -306,7 +329,46 @@ func main() {
 	}
 	fmt.Printf("SSD bandwidth   %.2f GB/s over CXL; flash die utilization %.1f%%\n",
 		res.SSDBandwidthBps/1e9, 100*res.FlashUtilization)
+	emitFleet(res)
 	emitTelemetry(res, *timeline)
+}
+
+// fleetFlags carries the -devices/-placement pair to each run path:
+// apply sets them on a config for the direct (storeless) paths; the
+// runner paths put them on the Spec instead, where they fold into the
+// store key.
+type fleetFlags struct {
+	devices   int
+	placement string
+}
+
+func (f fleetFlags) apply(c *skybyte.Config) {
+	c.Devices = f.devices
+	c.Placement = f.placement
+}
+
+// emitFleet prints the per-device split of a fleet run: one fleet-dev
+// row per device, then a fleet-total row carrying the run's summed
+// totals in the same space-separated columns (device, flash reads,
+// flash programs, owned pages, inbound accesses) so scripted consumers
+// can assert the splits reconcile against the totals. Non-fleet runs
+// print nothing.
+func emitFleet(res *skybyte.Result) {
+	if len(res.Devices) == 0 {
+		return
+	}
+	fmt.Printf("fleet           %d devices, %s placement, %d migrations\n",
+		len(res.Devices), res.Placement, res.FleetMigrations)
+	var pages, inbound uint64
+	for _, d := range res.Devices {
+		fmt.Printf("fleet-dev %d %d %d %d %d util %.1f%%\n",
+			d.Device, d.Traffic.TotalReads(), d.Traffic.TotalPrograms(),
+			d.Pages, d.Inbound, 100*d.FlashUtilization)
+		pages += d.Pages
+		inbound += d.Inbound
+	}
+	fmt.Printf("fleet-total all %d %d %d %d\n",
+		res.Traffic.TotalReads(), res.Traffic.TotalPrograms(), pages, inbound)
 }
 
 // emitTelemetry prints the telemetry summary lines of a run that
@@ -353,9 +415,10 @@ func emitTelemetry(res *skybyte.Result, timelinePath string) {
 // threads each replay that many instructions). With -cache-dir the run
 // routes through the runner so identical mixed runs recall from the
 // store.
-func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Variant, instrPerThread, seed uint64, useStore bool, knobTag string, knobs func(*skybyte.Config), timelinePath string) {
+func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Variant, instrPerThread, seed uint64, useStore bool, knobTag string, knobs func(*skybyte.Config), flt fleetFlags, timelinePath string) {
 	cfg := base.WithVariant(v)
 	knobs(&cfg)
+	flt.apply(&cfg)
 	total := instrPerThread * uint64(m.TotalThreads())
 
 	start := time.Now()
@@ -367,6 +430,8 @@ func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Vari
 			Variant:    v,
 			TotalInstr: total,
 			Threads:    m.TotalThreads(),
+			Devices:    flt.devices,
+			Placement:  flt.placement,
 			Tag:        knobTag,
 			Mutate:     knobs,
 		})
@@ -399,6 +464,7 @@ func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Vari
 	}
 	fmt.Printf("\nfairness        Jain index %.3f over per-tenant progress rates (max/min %.2f)\n",
 		stats.JainIndex(ips), stats.MaxMinRatio(ips))
+	emitFleet(res)
 	emitTelemetry(res, timelinePath)
 }
 
@@ -408,9 +474,10 @@ func runMix(r *runner.Runner, base skybyte.Config, m skybyte.Mix, v skybyte.Vari
 // instrPerThread matches the solo path's -instr semantics. With
 // -cache-dir the run routes through the runner so identical open-loop
 // runs recall from the store.
-func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skybyte.Variant, instrPerThread, seed uint64, scale float64, useStore bool, knobTag string, knobs func(*skybyte.Config), timelinePath string) {
+func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skybyte.Variant, instrPerThread, seed uint64, scale float64, useStore bool, knobTag string, knobs func(*skybyte.Config), flt fleetFlags, timelinePath string) {
 	cfg := base.WithVariant(v)
 	knobs(&cfg)
+	flt.apply(&cfg)
 	nThreads, err := a.TotalThreads()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -426,6 +493,8 @@ func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skyb
 			ArrivalScale: scale,
 			Variant:      v,
 			TotalInstr:   total,
+			Devices:      flt.devices,
+			Placement:    flt.placement,
 			Tag:          knobTag,
 			Mutate:       knobs,
 		})
@@ -462,6 +531,7 @@ func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skyb
 	tot := &res.OpenLoop.Total
 	fmt.Printf("\ntotal           %d admitted, %d completed (%.0f rps goodput)\n",
 		tot.Admitted, tot.Completed, tot.GoodputRPS())
+	emitFleet(res)
 	emitTelemetry(res, timelinePath)
 }
 
@@ -473,7 +543,7 @@ func runArrival(r *runner.Runner, base skybyte.Config, a skybyte.Arrival, v skyb
 // With sharding, only the i-th of n slices executes (populating the
 // store) and no table prints; -from-cache later renders the full
 // comparison without simulating.
-func compareVariants(r *runner.Runner, base skybyte.Config, w skybyte.Workload, vs []system.Variant, threads int, instrPerThread uint64, knobTag string, knobs func(*skybyte.Config), shardI, shardN int, sharded bool) {
+func compareVariants(r *runner.Runner, base skybyte.Config, w skybyte.Workload, vs []system.Variant, threads int, instrPerThread uint64, knobTag string, knobs func(*skybyte.Config), flt fleetFlags, shardI, shardN int, sharded bool) {
 	specs := make([]runner.Spec, len(vs))
 	for i, v := range vs {
 		n := threads
@@ -487,6 +557,8 @@ func compareVariants(r *runner.Runner, base skybyte.Config, w skybyte.Workload, 
 			Variant:    v,
 			TotalInstr: instrPerThread * uint64(n),
 			Threads:    n,
+			Devices:    flt.devices,
+			Placement:  flt.placement,
 			Tag:        knobTag,
 			Mutate:     knobs,
 		}

@@ -1,20 +1,76 @@
 package skybyte_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+	"unicode"
 )
 
 // mdLink matches inline markdown links: [text](target).
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// mdHeading matches ATX headings outside code fences.
+var mdHeading = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*$`)
+
+// slugify renders a heading the way GitHub derives its anchor id:
+// lowercase, punctuation dropped, spaces to hyphens — so "§2.1 Result
+// store & sharding" becomes "21-result-store--sharding" (each space
+// maps to a hyphen; none collapse).
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// headingAnchors collects the anchor set of one markdown document:
+// every ATX heading outside fenced code blocks, slugified, with
+// GitHub's -1/-2 suffixes on duplicates.
+func headingAnchors(data string) map[string]bool {
+	out := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := mdHeading.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if out[slug] {
+			for i := 1; ; i++ {
+				if cand := fmt.Sprintf("%s-%d", slug, i); !out[cand] {
+					slug = cand
+					break
+				}
+			}
+		}
+		out[slug] = true
+	}
+	return out
+}
+
 // TestDocLinks checks every intra-repo markdown link in the top-level
-// documents: a renamed or deleted file must break CI's docs job, not a
-// reader. External URLs and pure anchors are skipped; anchors on
-// relative links are stripped before the existence check.
+// documents: a renamed or deleted file — or a reworded heading behind a
+// #fragment — must break CI's docs job, not a reader. External URLs are
+// skipped; pure #anchors validate against the linking document's own
+// headings, and anchors on relative .md links validate against the
+// target document's headings.
 func TestDocLinks(t *testing.T) {
 	docs, err := filepath.Glob("*.md")
 	if err != nil {
@@ -23,24 +79,72 @@ func TestDocLinks(t *testing.T) {
 	if len(docs) < 5 {
 		t.Fatalf("only %d top-level markdown files found; checker running in the wrong directory?", len(docs))
 	}
+	anchorCache := map[string]map[string]bool{}
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if set, ok := anchorCache[path]; ok {
+			return set, nil
+		}
+		data, err := os.ReadFile(filepath.FromSlash(path))
+		if err != nil {
+			return nil, err
+		}
+		set := headingAnchors(string(data))
+		anchorCache[path] = set
+		return set, nil
+	}
 	for _, doc := range docs {
 		data, err := os.ReadFile(doc)
 		if err != nil {
 			t.Fatal(err)
 		}
+		self := headingAnchors(string(data))
+		anchorCache[doc] = self
 		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
 			target := m[1]
 			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
-				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				strings.HasPrefix(target, "mailto:") {
 				continue
 			}
-			target, _, _ = strings.Cut(target, "#")
-			if target == "" {
+			if frag, ok := strings.CutPrefix(target, "#"); ok {
+				if !self[frag] {
+					t.Errorf("%s: anchor %q does not match any heading in the same document", doc, target)
+				}
 				continue
 			}
-			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+			file, frag, hasFrag := strings.Cut(target, "#")
+			if file == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(file)); err != nil {
 				t.Errorf("%s: broken link to %q", doc, m[1])
+				continue
 			}
+			if hasFrag && strings.HasSuffix(file, ".md") {
+				set, err := anchorsOf(file)
+				if err != nil {
+					t.Errorf("%s: cannot read link target %q: %v", doc, file, err)
+					continue
+				}
+				if !set[frag] {
+					t.Errorf("%s: anchor %q does not match any heading in %s", doc, m[1], file)
+				}
+			}
+		}
+	}
+}
+
+// TestSlugify pins the anchor derivation against hand-checked GitHub
+// renderings, including the § and & stripping the design doc relies on.
+func TestSlugify(t *testing.T) {
+	for _, tc := range []struct{ heading, want string }{
+		{"Fleet architecture", "fleet-architecture"},
+		{"§2.1 Result store & sharding", "21-result-store--sharding"},
+		{"A  double  space", "a--double--space"},
+		{"`code` in heading", "code-in-heading"},
+		{"Hot/cold tiering", "hotcold-tiering"},
+	} {
+		if got := slugify(tc.heading); got != tc.want {
+			t.Errorf("slugify(%q) = %q, want %q", tc.heading, got, tc.want)
 		}
 	}
 }

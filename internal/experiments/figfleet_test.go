@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"skybyte/internal/system"
+)
+
+// figfleetOptions keeps fleet test campaigns fast: one workload (the
+// preferred-set intersection of tinyOptions resolves to srad) over a
+// reduced K axis.
+func figfleetOptions() Options {
+	o := tinyOptions()
+	o.TotalInstr = 48_000
+	o.SweepInstr = 24_000
+	return o
+}
+
+// TestFigFleetRendersAndStaysOptional: the fleet table produces one
+// K=1 baseline row per workload x variant plus one row per K>1 x
+// placement, the baseline rows read speedup 1.00, and — like the other
+// extensions — figfleet never leaks into the default campaign.
+func TestFigFleetRendersAndStaysOptional(t *testing.T) {
+	o := figfleetOptions()
+	h := NewHarness(o)
+	tab, err := h.Render(context.Background(), "figfleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPair := 1 // the K=1 baseline
+	for _, k := range h.Opt.FleetDevices {
+		if k > 1 {
+			perPair += len(h.Opt.FleetPlacements)
+		}
+	}
+	wantRows := len(h.figFleetWorkloads()) * len(figFleetVariants) * perPair
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("figfleet has %d rows, want %d", len(tab.Rows), wantRows)
+	}
+	for i, row := range tab.Rows {
+		if row[2] == "1" && row[5] != "1.00" {
+			t.Errorf("row %d: K=1 baseline speedup = %q, want 1.00", i, row[5])
+		}
+		if imb := parse(t, row[8]); imb < 1 {
+			t.Errorf("row %d: imbalance %q below 1 (max/mean cannot be)", i, row[8])
+		}
+		if row[3] == "striped" && row[9] != "0" {
+			t.Errorf("row %d: striped placement reported %q migrations", i, row[9])
+		}
+	}
+
+	tables, err := NewHarness(o).AllErr(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if tb.ID == "figfleet" {
+			t.Fatal("optional figfleet leaked into the default campaign")
+		}
+	}
+}
+
+// TestFigFleetParallelDeterminism is the fleet acceptance contract:
+// device assignment and the per-device splits behind every cell render
+// byte-identically at any parallelism.
+func TestFigFleetParallelDeterminism(t *testing.T) {
+	render := func(parallelism int) string {
+		o := figfleetOptions()
+		o.FleetDevices = []int{1, 2, 4}
+		o.Parallelism = parallelism
+		tab, err := NewHarness(o).Render(context.Background(), "figfleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("figfleet differs between Parallelism 1 and 8:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestFigFleetSurgicalRekey pins the placement key derivation at the
+// campaign level: switching the placement axis against a warm store
+// re-simulates only the K>1 cells — the K=1 baselines carry no fleet
+// placement in their keys and recall warm.
+func TestFigFleetSurgicalRekey(t *testing.T) {
+	dir := t.TempDir()
+	render := func(placements []string, counter *int) string {
+		o := figfleetOptions()
+		o.FleetDevices = []int{1, 2}
+		o.FleetPlacements = placements
+		o.CacheDir = dir
+		h := NewHarness(o)
+		if counter != nil {
+			h.Verbose = func(string, *system.Result) { *counter++ }
+		}
+		tab, err := h.Render(context.Background(), "figfleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	coldSims := 0
+	cold := render([]string{"striped"}, &coldSims)
+	if coldSims == 0 {
+		t.Fatal("cold figfleet simulated nothing")
+	}
+
+	// Same axes again: fully warm.
+	warmSims := 0
+	warm := render([]string{"striped"}, &warmSims)
+	if warmSims != 0 {
+		t.Fatalf("warm figfleet simulated %d times, want 0", warmSims)
+	}
+	if cold != warm {
+		t.Errorf("figfleet differs between cold and warm runs:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+
+	// Placement-only change: exactly the K=2 cells (one per workload x
+	// variant) re-simulate; the K=1 baselines recall from the store.
+	pairs := len(NewHarness(figfleetOptions()).figFleetWorkloads()) * len(figFleetVariants)
+	rekeySims := 0
+	capTab := render([]string{"capacity"}, &rekeySims)
+	if rekeySims != pairs {
+		t.Fatalf("placement switch re-simulated %d cells, want exactly the %d K=2 cells", rekeySims, pairs)
+	}
+	if !strings.Contains(capTab, "capacity") {
+		t.Fatalf("re-keyed table does not carry the new placement:\n%s", capTab)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"skybyte/internal/arrival"
+	"skybyte/internal/fleet"
 	"skybyte/internal/mem"
 	"skybyte/internal/runner"
 	"skybyte/internal/store"
@@ -58,6 +59,15 @@ type Options struct {
 	// AMAT). Off by default so the paper's tables stay the paper's; the
 	// mixed runs are shared with figmix where the design points coincide.
 	TenantRows bool
+	// FleetDevices is the device-count axis (K) of the optional figfleet
+	// cluster-scaling table (default: 1, 2, 4, 8; each within
+	// 1..fleet.MaxDevices). K = 1 is the single-device baseline the
+	// other rows normalize against.
+	FleetDevices []int
+	// FleetPlacements restricts the placement-policy axis of figfleet
+	// (default: every fleet policy). Names resolve via fleet.ParsePolicy;
+	// hotcold needs K >= 2, so it only contributes multi-device rows.
+	FleetPlacements []string
 	// Telemetry switches the optional figopen table into its
 	// time-resolved row mode: every open-loop run samples the
 	// in-simulator probes (internal/telemetry) on a fixed cadence, and
@@ -153,6 +163,12 @@ func NewHarness(opt Options) *Harness {
 	}
 	if len(opt.Arrivals) == 0 {
 		opt.Arrivals = arrival.Names()
+	}
+	if len(opt.FleetDevices) == 0 {
+		opt.FleetDevices = []int{1, 2, 4, 8}
+	}
+	if len(opt.FleetPlacements) == 0 {
+		opt.FleetPlacements = fleet.PolicyNames()
 	}
 	// Workload and mix definitions reach the store identity through the
 	// runner spec key, not the campaign fingerprint: every Spec.Key

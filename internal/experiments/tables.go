@@ -208,6 +208,7 @@ func (h *Harness) catalog() []catalogEntry {
 		{id: "figext", plan: h.figExt, optional: true},
 		{id: "figmix", plan: h.figMix, optional: true},
 		{id: "figopen", plan: h.figOpen, optional: true},
+		{id: "figfleet", plan: h.figFleet, optional: true},
 	}
 }
 

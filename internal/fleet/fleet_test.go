@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if string(p) != name {
+			t.Fatalf("ParsePolicy(%q) = %q", name, p)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != Striped {
+		t.Fatalf("ParsePolicy(\"\") = %q, %v; want striped default", p, err)
+	}
+	_, err := ParsePolicy("round-robin")
+	if err == nil {
+		t.Fatal("ParsePolicy accepted unknown policy")
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid policy %q", err, name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(1, ""); err != nil {
+		t.Fatalf("Validate(1, \"\"): %v", err)
+	}
+	if err := Validate(MaxDevices, "hotcold"); err != nil {
+		t.Fatalf("Validate(%d, hotcold): %v", MaxDevices, err)
+	}
+	if err := Validate(0, ""); err == nil || !strings.Contains(err.Error(), "1..16") {
+		t.Fatalf("Validate(0) = %v; want range error listing 1..16", err)
+	}
+	if err := Validate(MaxDevices+1, ""); err == nil {
+		t.Fatal("Validate accepted oversized fleet")
+	}
+	if err := Validate(2, "bogus"); err == nil {
+		t.Fatal("Validate accepted unknown policy")
+	}
+}
+
+func TestStripedPlacement(t *testing.T) {
+	p, err := NewPlacer(Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Policy() != Striped {
+		t.Fatalf("default policy = %q", p.Policy())
+	}
+	for lpa := uint64(0); lpa < 64; lpa++ {
+		if got, want := p.Device(lpa), int(lpa%4); got != want {
+			t.Fatalf("Device(%d) = %d, want %d", lpa, got, want)
+		}
+	}
+	for d := 0; d < 4; d++ {
+		if p.Pages(d) != 16 {
+			t.Fatalf("Pages(%d) = %d, want 16", d, p.Pages(d))
+		}
+		if p.Inbound(d) != 0 {
+			t.Fatalf("Inbound(%d) = %d on a static policy", d, p.Inbound(d))
+		}
+	}
+	if _, ok := p.NoteAccess(7); ok {
+		t.Fatal("striped placement migrated a page")
+	}
+	if p.Migrations() != 0 {
+		t.Fatalf("Migrations = %d on a static policy", p.Migrations())
+	}
+}
+
+func TestCapacityPlacement(t *testing.T) {
+	// 3:1 weights over two devices — device 0 should own about three
+	// quarters of a large uniform page population.
+	p, err := NewPlacer(Config{Devices: 2, Policy: Capacity, Weights: []float64{3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	for lpa := uint64(0); lpa < n; lpa++ {
+		p.Device(lpa)
+	}
+	share := float64(p.Pages(0)) / n
+	if share < 0.72 || share > 0.78 {
+		t.Fatalf("device 0 share = %.3f, want ~0.75", share)
+	}
+	if p.Pages(0)+p.Pages(1) != n {
+		t.Fatalf("pages sum %d+%d != %d", p.Pages(0), p.Pages(1), n)
+	}
+
+	// Placement is a pure function of the page number: a second placer
+	// from the same config agrees on every page, in any probe order.
+	q, err := NewPlacer(Config{Devices: 2, Policy: Capacity, Weights: []float64{3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpa := uint64(n); lpa > 0; lpa-- {
+		if p.Device(lpa-1) != q.Device(lpa-1) {
+			t.Fatalf("placers disagree on lpa %d", lpa-1)
+		}
+	}
+}
+
+func TestCapacityWeightValidation(t *testing.T) {
+	if _, err := NewPlacer(Config{Devices: 3, Policy: Capacity, Weights: []float64{1, 2}}); err == nil {
+		t.Fatal("accepted weight count mismatch")
+	}
+	if _, err := NewPlacer(Config{Devices: 2, Policy: Capacity, Weights: []float64{1, -1}}); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+}
+
+func TestHotColdMigration(t *testing.T) {
+	cfg := Config{Devices: 4, Policy: HotCold, HotThreshold: 3}
+	p, err := NewPlacer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default hot tier for K=4 is one device; cold pages stripe across
+	// devices 1..3.
+	const lpa = 5 // cold home: 1 + 5%3 = 3
+	if got := p.Device(lpa); got != 3 {
+		t.Fatalf("cold home of %d = %d, want 3", lpa, got)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := p.NoteAccess(lpa); ok {
+			t.Fatalf("migrated after %d accesses, threshold 3", i+1)
+		}
+	}
+	m, ok := p.NoteAccess(lpa)
+	if !ok {
+		t.Fatal("no migration at threshold")
+	}
+	if m != (Migration{LPA: lpa, From: 3, To: 0}) {
+		t.Fatalf("migration = %+v", m)
+	}
+	if got := p.Device(lpa); got != 0 {
+		t.Fatalf("post-migration owner = %d, want 0", got)
+	}
+	if p.Inbound(0) != 1 || p.Migrations() != 1 {
+		t.Fatalf("inbound=%d migrations=%d, want 1/1", p.Inbound(0), p.Migrations())
+	}
+	if p.Pages(3) != 0 || p.Pages(0) != 1 {
+		t.Fatalf("page counts after migration: dev3=%d dev0=%d", p.Pages(3), p.Pages(0))
+	}
+	// Hot pages never migrate again.
+	if _, ok := p.NoteAccess(lpa); ok {
+		t.Fatal("hot page migrated twice")
+	}
+}
+
+func TestHotColdNeedsColdTier(t *testing.T) {
+	if _, err := NewPlacer(Config{Devices: 2, Policy: HotCold, HotDevices: 2}); err == nil {
+		t.Fatal("accepted hot tier covering the whole fleet")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Devices: 4}, "striped/k=4"},
+		{Config{Devices: 4, Policy: Striped}, "striped/k=4"},
+		{Config{Devices: 2, Policy: Capacity}, "capacity/k=2"},
+		{Config{Devices: 2, Policy: Capacity, Weights: []float64{3, 1}}, "capacity/k=2/w=[3 1]"},
+		{Config{Devices: 8, Policy: HotCold}, "hotcold/k=8/hot=2:8"},
+		{Config{Devices: 8, Policy: HotCold, HotDevices: 3, HotThreshold: 5}, "hotcold/k=8/hot=3:5"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Fingerprint(); got != c.want {
+			t.Errorf("Fingerprint(%+v) = %q, want %q", c.cfg, got, c.want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"skybyte/internal/arrival"
+	"skybyte/internal/fleet"
 	"skybyte/internal/system"
 	"skybyte/internal/tenant"
 	"skybyte/internal/workloads"
@@ -210,6 +211,28 @@ func (r *Runner) run(ctx context.Context, spec Spec, total int, counter *int) (*
 	return c.res, false, c.err
 }
 
+// applyFleet validates a spec's fleet axis and threads it into the run
+// config (after Mutate, so spec-level Devices/Placement — which are part
+// of the key — always win over mutation side effects). Specs without a
+// fleet axis leave the config untouched.
+func applyFleet(cfg *system.Config, spec Spec) error {
+	if spec.Devices == 0 {
+		// A placement with no device count would not fold into the key
+		// (the fleet segment only renders for Devices > 0), so allowing
+		// it would let two different machines share one cache identity.
+		if spec.Placement != "" {
+			return fmt.Errorf("runner: spec placement %q requires Devices >= 1", spec.Placement)
+		}
+		return nil
+	}
+	if err := fleet.Validate(spec.Devices, spec.Placement); err != nil {
+		return fmt.Errorf("runner: %w", err)
+	}
+	cfg.Devices = spec.Devices
+	cfg.Placement = spec.Placement
+	return nil
+}
+
 // finish unregisters a completed (or failed) leader call and releases
 // its waiters. The result, if any, must already be in the memo.
 func (r *Runner) finish(key string, c *call) {
@@ -276,6 +299,9 @@ func (r *Runner) execute(spec Spec, key string) (*system.Result, error) {
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
 	}
+	if err := applyFleet(&cfg, spec); err != nil {
+		return nil, err
+	}
 	threads := spec.Threads
 	if threads == 0 {
 		threads = ThreadsFor(cfg)
@@ -305,6 +331,9 @@ func (r *Runner) executeMix(spec Spec, key string) (*system.Result, error) {
 	cfg := r.base.WithVariant(spec.Variant)
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
+	}
+	if err := applyFleet(&cfg, spec); err != nil {
+		return nil, err
 	}
 	sys := system.New(cfg)
 	if err := m.Apply(sys, spec.TotalInstr, r.seed); err != nil {
@@ -338,6 +367,9 @@ func (r *Runner) executeArrival(spec Spec, key string) (*system.Result, error) {
 	cfg := r.base.WithVariant(spec.Variant)
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
+	}
+	if err := applyFleet(&cfg, spec); err != nil {
+		return nil, err
 	}
 	sys := system.New(cfg)
 	if err := a.Apply(sys, spec.TotalInstr, r.seed, spec.arrivalScale()); err != nil {

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"skybyte/internal/arrival"
+	"skybyte/internal/fleet"
 	"skybyte/internal/system"
 	"skybyte/internal/tenant"
 	"skybyte/internal/workloads"
@@ -62,6 +63,13 @@ type Spec struct {
 	// Tag distinguishes config mutations that share the same
 	// workload/variant/budget, e.g. "thr10" for a threshold sweep cell.
 	Tag string
+	// Devices, when > 0, engages the fleet layer with that many SSD
+	// backends (system.Config.Devices); Placement names the fleet
+	// placement policy ("" = striped). Both fold into the key, so a
+	// placement change re-keys exactly the fleet design points; 0 keeps
+	// the legacy single-device key byte-identical.
+	Devices   int
+	Placement string
 	// Mutate adjusts the variant config before the run (nil for none).
 	// It must be deterministic and is identified solely by Tag.
 	Mutate func(*system.Config)
@@ -90,7 +98,20 @@ func (s Spec) Key() string {
 	case s.Mix != "":
 		name = "mix:" + s.Mix
 	}
-	return fmt.Sprintf("%s|%s|%d|%d|%s|src=%s", name, s.Variant, s.TotalInstr, s.Threads, s.Tag, s.sourceDigest())
+	// Fleet specs insert a |fleet=K:policy segment before the source
+	// digest; the segment is omitted entirely for Devices == 0, keeping
+	// every pre-fleet key byte-identical so warm stores stay warm. The
+	// empty placement renders as its resolved default ("striped"), so ""
+	// and "striped" share one cache entry — they run the same machine.
+	fleetSeg := ""
+	if s.Devices > 0 {
+		placement := s.Placement
+		if placement == "" {
+			placement = string(fleet.Striped)
+		}
+		fleetSeg = fmt.Sprintf("|fleet=%d:%s", s.Devices, placement)
+	}
+	return fmt.Sprintf("%s|%s|%d|%d|%s%s|src=%s", name, s.Variant, s.TotalInstr, s.Threads, s.Tag, fleetSeg, s.sourceDigest())
 }
 
 // arrivalScale is the effective intensity scale (0 → 1).

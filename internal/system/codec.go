@@ -19,7 +19,9 @@ import (
 // open-loop runs).
 // v4: Result gained the Telemetry section (probe time-series and
 // request-lifecycle spans of telemetry-enabled runs).
-const ResultCodecVersion = 4
+// v5: Result gained the per-device Devices section with Placement and
+// FleetMigrations (fleet runs, DESIGN.md §9).
+const ResultCodecVersion = 5
 
 // EncodeResult serializes r canonically: the same measurements always
 // produce the same bytes (struct fields encode in declaration order,

@@ -72,6 +72,42 @@ func TestResultCodecCanonical(t *testing.T) {
 	}
 }
 
+// TestFleetResultCodecRoundTrip exercises codec v5's per-device
+// section: a fleet run's Devices rows, Placement, and FleetMigrations
+// survive encode/decode exactly, and re-encoding keeps the bytes (the
+// property the store's content addressing hashes rely on).
+func TestFleetResultCodecRoundTrip(t *testing.T) {
+	cfg := ScaledConfig().WithVariant(SkyByteFull)
+	cfg.Devices = 4
+	cfg.Placement = "hotcold"
+	sys := New(cfg)
+	for i := 0; i < 4; i++ {
+		sys.AddThread(scatterStream(uint64(i+1), 8192, 0.3, 8), 6000)
+	}
+	res := sys.Run()
+	if len(res.Devices) != 4 {
+		t.Fatalf("fleet run carries %d device rows", len(res.Devices))
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, got) {
+		t.Error("fleet result did not round-trip")
+	}
+	again, err := EncodeResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("re-encoding a decoded fleet result changed the bytes")
+	}
+}
+
 func TestDecodeResultRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{"", "{", `{"Variant":1}`, `{"NoSuchField":true}`} {
 		if _, err := DecodeResult([]byte(bad)); err == nil {

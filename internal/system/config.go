@@ -14,6 +14,7 @@ import (
 	"skybyte/internal/cxl"
 	"skybyte/internal/dram"
 	"skybyte/internal/flash"
+	"skybyte/internal/fleet"
 	"skybyte/internal/ftl"
 	"skybyte/internal/mem"
 	"skybyte/internal/osched"
@@ -144,6 +145,16 @@ type Config struct {
 	PreconditionRewrit float64
 	Seed               uint64
 	TrackLocality      bool
+
+	// Fleet (DESIGN.md §9). Devices, when >= 2, wires that many
+	// independent controller+FTL+flash+write-log backends behind the
+	// shared CXL link, with Placement naming the fleet.Policy that maps
+	// logical pages to devices ("" = striped). Zero (the default) keeps
+	// the single-device machine bit-identical to pre-fleet builds;
+	// Devices == 1 runs the same single-device timing but reports the
+	// per-device Result section. Placement requires Devices >= 2.
+	Devices   int
+	Placement string
 
 	// TelemetryCadence, when positive, samples the registered telemetry
 	// probes every cadence of simulated time into Result.Telemetry.
@@ -278,6 +289,11 @@ func (c Config) WithVariant(v Variant) Config {
 		panic(fmt.Sprintf("system: unknown variant %q", v))
 	}
 	return c
+}
+
+// fleetConfig derives the placement-layer configuration of a fleet run.
+func (c Config) fleetConfig() fleet.Config {
+	return fleet.Config{Devices: c.Devices, Policy: fleet.Policy(c.Placement)}
 }
 
 // controllerConfig derives the SSD controller configuration.

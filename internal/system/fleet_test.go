@@ -1,0 +1,168 @@
+package system
+
+import (
+	"testing"
+
+	"skybyte/internal/trace"
+)
+
+// fleetConfigOf is the scaled machine with a fleet section attached.
+func fleetConfigOf(v Variant, devices int, placement string) Config {
+	cfg := ScaledConfig().WithVariant(v)
+	cfg.Devices = devices
+	cfg.Placement = placement
+	return cfg
+}
+
+func runFleet(t *testing.T, cfg Config, threads int, perThread uint64, stream func(i int) trace.Stream) *Result {
+	t.Helper()
+	s := New(cfg)
+	for i := 0; i < threads; i++ {
+		s.AddThread(stream(i), perThread)
+	}
+	r := s.Run()
+	if r.Instructions < perThread*uint64(threads) {
+		t.Fatalf("retired %d, want >= %d", r.Instructions, perThread*uint64(threads))
+	}
+	return r
+}
+
+// TestFleetDeviceSplitsSumToTotals is the fleet accounting contract
+// (DESIGN.md §9): every summable counter in the per-device section adds
+// up exactly to the run's fleet totals — reads, programs, erases, the
+// FTL and cache counters, and the owned-page/inbound placement tallies.
+func TestFleetDeviceSplitsSumToTotals(t *testing.T) {
+	mk := func(i int) trace.Stream { return scatterStream(uint64(i)+1, 32768, 0.3, 16) }
+	for _, tc := range []struct {
+		devices   int
+		placement string
+	}{{2, "striped"}, {4, "striped"}, {4, "capacity"}, {4, "hotcold"}, {8, ""}} {
+		res := runFleet(t, fleetConfigOf(SkyByteFull, tc.devices, tc.placement), 8, 12000, mk)
+		if len(res.Devices) != tc.devices {
+			t.Fatalf("k=%d/%s: %d device rows", tc.devices, tc.placement, len(res.Devices))
+		}
+		wantPolicy := tc.placement
+		if wantPolicy == "" {
+			wantPolicy = "striped"
+		}
+		if res.Placement != wantPolicy {
+			t.Fatalf("k=%d/%s: Placement = %q", tc.devices, tc.placement, res.Placement)
+		}
+		var reads, programs, erases, userProg, gcProg, hits, misses uint64
+		var busy int64
+		for _, d := range res.Devices {
+			reads += d.Traffic.TotalReads()
+			programs += d.Traffic.TotalPrograms()
+			erases += d.FlashStats.Erases
+			userProg += d.FTLStats.UserPrograms
+			gcProg += d.FTLStats.GCPrograms
+			hits += d.CacheStats.Hits
+			misses += d.CacheStats.Misses
+			busy += int64(d.FlashStats.BusyTime)
+		}
+		if reads != res.Traffic.TotalReads() || programs != res.Traffic.TotalPrograms() {
+			t.Errorf("k=%d/%s: device traffic %d/%d != totals %d/%d",
+				tc.devices, tc.placement, reads, programs, res.Traffic.TotalReads(), res.Traffic.TotalPrograms())
+		}
+		if erases != res.FlashStats.Erases || busy != int64(res.FlashStats.BusyTime) {
+			t.Errorf("k=%d/%s: flash splits do not reconcile", tc.devices, tc.placement)
+		}
+		if userProg != res.FTLStats.UserPrograms || gcProg != res.FTLStats.GCPrograms {
+			t.Errorf("k=%d/%s: FTL splits do not reconcile", tc.devices, tc.placement)
+		}
+		if hits != res.CacheStats.Hits || misses != res.CacheStats.Misses {
+			t.Errorf("k=%d/%s: cache splits do not reconcile", tc.devices, tc.placement)
+		}
+		// Placement actually spread work: more than one device owns pages
+		// (hotcold concentrates flash traffic but still stripes cold pages).
+		owners := 0
+		for _, d := range res.Devices {
+			if d.Pages > 0 {
+				owners++
+			}
+		}
+		if owners < 2 {
+			t.Errorf("k=%d/%s: only %d device(s) own pages", tc.devices, tc.placement, owners)
+		}
+	}
+}
+
+// TestFleetOfOneMatchesLegacy pins the fleet-of-one contract: Devices=1
+// is the same machine as the legacy Devices=0 config — identical timing
+// and traffic — plus a one-row per-device section.
+func TestFleetOfOneMatchesLegacy(t *testing.T) {
+	mk := func(i int) trace.Stream { return synthStream(uint64(i)+1, 8192, 0.3, 32) }
+	legacy := runFleet(t, fleetConfigOf(SkyByteFull, 0, ""), 4, 10000, mk)
+	one := runFleet(t, fleetConfigOf(SkyByteFull, 1, ""), 4, 10000, mk)
+	if legacy.Devices != nil {
+		t.Fatalf("legacy config grew a Devices section: %+v", legacy.Devices)
+	}
+	if len(one.Devices) != 1 || one.Placement != "striped" {
+		t.Fatalf("fleet-of-one section = %d rows, placement %q", len(one.Devices), one.Placement)
+	}
+	if legacy.ExecTime != one.ExecTime || legacy.Instructions != one.Instructions {
+		t.Fatalf("fleet-of-one diverged from legacy: exec %v vs %v", one.ExecTime, legacy.ExecTime)
+	}
+	if legacy.Traffic != one.Traffic {
+		t.Fatalf("fleet-of-one flash traffic diverged: %+v vs %+v", one.Traffic, legacy.Traffic)
+	}
+	d := one.Devices[0]
+	if d.Traffic != one.Traffic || d.FlashStats != one.FlashStats {
+		t.Fatal("fleet-of-one device row does not equal the totals")
+	}
+}
+
+// TestFleetDeterminism pins byte-identical fleet results: two fresh
+// systems under the same config and streams encode identically,
+// per-device section included.
+func TestFleetDeterminism(t *testing.T) {
+	mk := func(i int) trace.Stream { return scatterStream(uint64(i)+1, 16384, 0.3, 16) }
+	run := func() *Result { return runFleet(t, fleetConfigOf(SkyByteFull, 4, "hotcold"), 8, 8000, mk) }
+	a, err := EncodeResult(run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeResult(run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("identical fleet runs encoded differently")
+	}
+}
+
+// TestFleetHotColdMigrates drives a tiny hot set through the hotcold
+// policy: the hot pages must cross into the hot tier (FleetMigrations
+// > 0) and the run must stay fully accounted afterwards.
+func TestFleetHotColdMigrates(t *testing.T) {
+	mk := func(i int) trace.Stream { return hotStream(uint64(i)+1, 24) }
+	res := runFleet(t, fleetConfigOf(BaseCSSD, 4, "hotcold"), 4, 8000, mk)
+	if res.FleetMigrations == 0 {
+		t.Fatal("hot pages never migrated to the hot tier")
+	}
+	var reads uint64
+	for _, d := range res.Devices {
+		reads += d.Traffic.TotalReads()
+	}
+	if reads != res.Traffic.TotalReads() {
+		t.Fatalf("splits do not reconcile after migration: %d vs %d", reads, res.Traffic.TotalReads())
+	}
+}
+
+// TestFleetInvalidConfigPanics: a malformed fleet section must fail
+// loudly at construction, not place pages arbitrarily.
+func TestFleetInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		fleetConfigOf(BaseCSSD, 99, ""),
+		fleetConfigOf(BaseCSSD, 4, "nope"),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New accepted devices=%d placement=%q", cfg.Devices, cfg.Placement)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"skybyte/internal/cpu"
 	"skybyte/internal/cxl"
 	"skybyte/internal/flash"
+	"skybyte/internal/fleet"
 	"skybyte/internal/ftl"
 	"skybyte/internal/sim"
 	"skybyte/internal/stats"
@@ -76,6 +77,46 @@ type Result struct {
 	// at any parallelism and flows through the result store like every
 	// other measurement.
 	Telemetry *telemetry.Snapshot `json:",omitempty"`
+
+	// Devices carries the per-device accounting of a fleet run
+	// (Config.Devices >= 1), in device order; nil for legacy
+	// single-device configs (Devices == 0). The summable counters —
+	// flash traffic, FTL/flash/cache/compaction stats, log index peaks —
+	// are exact splits of the whole-system fields above
+	// (TestFleetDeviceSplitsSumToTotals); Placement names the resolved
+	// placement policy and FleetMigrations counts hot/cold inter-device
+	// page transfers.
+	Devices         []DeviceResult `json:",omitempty"`
+	Placement       string         `json:",omitempty"`
+	FleetMigrations uint64         `json:",omitempty"`
+}
+
+// DeviceResult is one SSD backend's share of a fleet run: the same
+// device-side measurement vocabulary as the whole-system Result,
+// restricted to one controller+FTL+flash backend, plus the placement
+// layer's page accounting and the device's downstream-port traffic.
+type DeviceResult struct {
+	// Device is the backend's index (the placement layer's device id).
+	Device int
+	// Pages is the number of logical pages the device owned at the end
+	// of the run (first-touch accounting, net of migrations away).
+	Pages uint64
+	// Inbound counts hot/cold migrations that landed on this device
+	// (0 under static policies).
+	Inbound uint64
+
+	Traffic    stats.FlashTraffic // controller + GC merged, as in Result.Traffic
+	FTLStats   ftl.Stats
+	FlashStats flash.Stats
+	CacheStats core.PageCacheStats
+	Compaction core.CompactionStats
+
+	LogIndexPeak     int
+	FlashUtilization float64
+
+	// Port is the device's downstream CXL attachment traffic. Zero in a
+	// fleet of one, where bytes move on the shared host link alone.
+	Port cxl.Stats
 }
 
 // OpenLoopResult is the open-loop section of a Result: one entry per
@@ -180,27 +221,80 @@ func (s *System) collect() *Result {
 	r.HintsSent = s.hints
 	r.Migration = s.migr
 
-	r.Traffic = s.ctrl.Traffic
-	fs := s.fl.Stats()
-	r.Traffic.GCReads = fs.GCReads
-	r.Traffic.GCPrograms = fs.GCPrograms
-	r.Traffic.Erases = fs.Erases
-	r.Traffic.GCInvocations = fs.GCInvocations
-	r.FTLStats = fs
-	r.FlashStats = s.arr.Stats()
-	r.LinkStats = s.link.Stats()
-	r.CacheStats = s.ctrl.Cache().Stats
-	r.Compaction = s.ctrl.Compaction
-	if logs := s.ctrl.Logs(); logs[0] != nil {
-		r.LogIndexPeak = logs[0].Stats().PeakIndex + logs[1].Stats().PeakIndex
+	// Device-side accounting. Every backend contributes one DeviceResult
+	// and its counters accumulate into the whole-system fields, so the
+	// per-device splits reconcile to the fleet totals exactly, by
+	// construction (TestFleetDeviceSplitsSumToTotals pins this). The
+	// single-device machine is the same loop over one backend, producing
+	// the identical totals it always has.
+	devResults := make([]DeviceResult, len(s.devs))
+	var utilSum float64
+	for i, d := range s.devs {
+		dr := &devResults[i]
+		dr.Device = i
+		dfs := d.fl.Stats()
+		dr.Traffic = d.ctrl.Traffic
+		dr.Traffic.GCReads = dfs.GCReads
+		dr.Traffic.GCPrograms = dfs.GCPrograms
+		dr.Traffic.Erases = dfs.Erases
+		dr.Traffic.GCInvocations = dfs.GCInvocations
+		dr.FTLStats = dfs
+		dr.FlashStats = d.arr.Stats()
+		dr.CacheStats = d.ctrl.Cache().Stats
+		dr.Compaction = d.ctrl.Compaction
+		if logs := d.ctrl.Logs(); logs[0] != nil {
+			dr.LogIndexPeak = logs[0].Stats().PeakIndex + logs[1].Stats().PeakIndex
+		}
+		dr.FlashUtilization = d.arr.Utilization()
+		utilSum += dr.FlashUtilization
+		if d.port != nil {
+			dr.Port = d.port.Stats()
+		}
+		if s.placer != nil {
+			dr.Pages = s.placer.Pages(i)
+			dr.Inbound = s.placer.Inbound(i)
+		}
+
+		addFlashTraffic(&r.Traffic, &dr.Traffic)
+		r.FTLStats.UserPrograms += dfs.UserPrograms
+		r.FTLStats.GCPrograms += dfs.GCPrograms
+		r.FTLStats.GCReads += dfs.GCReads
+		r.FTLStats.Erases += dfs.Erases
+		r.FTLStats.GCInvocations += dfs.GCInvocations
+		r.FlashStats.Reads += dr.FlashStats.Reads
+		r.FlashStats.Programs += dr.FlashStats.Programs
+		r.FlashStats.Erases += dr.FlashStats.Erases
+		r.FlashStats.BusyTime += dr.FlashStats.BusyTime
+		r.CacheStats.Hits += dr.CacheStats.Hits
+		r.CacheStats.Misses += dr.CacheStats.Misses
+		r.CacheStats.Inserts += dr.CacheStats.Inserts
+		r.CacheStats.Evictions += dr.CacheStats.Evictions
+		r.CacheStats.DirtyEvs += dr.CacheStats.DirtyEvs
+		r.Compaction.Count += dr.Compaction.Count
+		r.Compaction.TotalTime += dr.Compaction.TotalTime
+		r.Compaction.Pages += dr.Compaction.Pages
+		r.LogIndexPeak += dr.LogIndexPeak
 	}
+	r.LinkStats = s.link.Stats()
 	if secs := s.lastDone.Seconds(); secs > 0 {
 		r.SSDBandwidthBps = float64(r.LinkStats.ToDeviceBytes+r.LinkStats.ToHostBytes) / secs
 	}
-	r.FlashUtilization = s.arr.Utilization()
+	r.FlashUtilization = utilSum / float64(len(s.devs))
 	if s.cfg.TrackLocality {
 		r.ReadLocality = s.ctrl.Cache().ReadLocality.CDF()
 		r.WriteLocality = s.ctrl.WriteLocality.CDF()
+	}
+	// The per-device section appears only when the config engaged the
+	// fleet layer (Devices >= 1); legacy configs keep the pre-fleet
+	// Result shape byte for byte.
+	if s.cfg.Devices > 0 {
+		r.Devices = devResults
+		if s.placer != nil {
+			r.Placement = string(s.placer.Policy())
+			r.FleetMigrations = s.placer.Migrations()
+		} else {
+			r.Placement = string(fleet.Striped)
+		}
 	}
 	s.collectTenants(r)
 	s.collectOpenLoop(r)
@@ -227,11 +321,40 @@ func (s *System) collectOpenLoop(r *Result) {
 // multi-tenant run from the per-thread scheduler accounting, the
 // per-tenant request-path accumulators, and the controller's tenant
 // write accounting.
+// addFlashTraffic accumulates one device's merged flash traffic into
+// the fleet total, field by field.
+func addFlashTraffic(dst, src *stats.FlashTraffic) {
+	dst.HostReads += src.HostReads
+	dst.PrefetchReads += src.PrefetchReads
+	dst.CompactReads += src.CompactReads
+	dst.GCReads += src.GCReads
+	dst.HostPrograms += src.HostPrograms
+	dst.CompactWrites += src.CompactWrites
+	dst.GCPrograms += src.GCPrograms
+	dst.DemoteWrites += src.DemoteWrites
+	dst.Erases += src.Erases
+	dst.GCInvocations += src.GCInvocations
+	dst.LinesAbsorbed += src.LinesAbsorbed
+	dst.LinesCoalesced += src.LinesCoalesced
+}
+
 func (s *System) collectTenants(r *Result) {
 	if len(s.tenantInfo) == 0 {
 		return
 	}
+	// Per-tenant write-log accounting sums elementwise across the fleet:
+	// a tenant's lines may land on any device its pages map to.
 	tlog := s.ctrl.TenantLog()
+	for _, d := range s.devs[1:] {
+		for i, tl := range d.ctrl.TenantLog() {
+			for i >= len(tlog) {
+				tlog = append(tlog, core.TenantLogStats{})
+			}
+			tlog[i].LinesAbsorbed += tl.LinesAbsorbed
+			tlog[i].StalledWrites += tl.StalledWrites
+			tlog[i].RMWFetches += tl.RMWFetches
+		}
+	}
 	r.Tenants = make([]TenantResult, len(s.tenantInfo))
 	for i, info := range s.tenantInfo {
 		tr := &r.Tenants[i]

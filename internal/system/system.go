@@ -7,6 +7,7 @@ import (
 	"skybyte/internal/cxl"
 	"skybyte/internal/dram"
 	"skybyte/internal/flash"
+	"skybyte/internal/fleet"
 	"skybyte/internal/ftl"
 	"skybyte/internal/mem"
 	"skybyte/internal/migrate"
@@ -47,10 +48,23 @@ type System struct {
 
 	link     *cxl.Link
 	hostDRAM *dram.DRAM
-	ssdDRAM  *dram.DRAM
-	arr      *flash.Array
-	fl       *ftl.FTL
-	ctrl     *core.Controller
+
+	// The device backends (DESIGN.md §9). Single-device runs — the
+	// default, Config.Devices <= 1 — wire exactly one and leave placer
+	// nil, so every request path short-circuits to devs[0] through the
+	// aliases below with no fleet overhead. Fleet runs (Devices >= 2)
+	// route each logical page through placer to its owning device, whose
+	// downstream port serializes transfers behind the shared host link.
+	devs   []*device
+	placer *fleet.Placer
+
+	// Aliases of devs[0]'s components, kept because the single-device
+	// hot paths (and the Controller/FTL/Flash accessors plus most tests)
+	// address one device.
+	ssdDRAM *dram.DRAM
+	arr     *flash.Array
+	fl      *ftl.FTL
+	ctrl    *core.Controller
 
 	threads  []*osched.Thread
 	finished int
@@ -147,14 +161,14 @@ func (s *System) getReadTxn() *readTxn {
 		// Re-check at device arrival: the page may have been promoted
 		// while the request was in flight (the PLB forwards such cases).
 		if _, ok := sys.promoted[x.lpa]; ok {
-			sys.link.ToHost(cxl.HeaderBytes, x.hostFwd)
+			sys.sendToHost(x.lpa, cxl.HeaderBytes, x.hostFwd)
 			return
 		}
 		var hint func(sim.Time)
 		if sys.cfg.CtxSwitchEnabled {
 			hint = x.hintFn
 		}
-		sys.ctrl.MemRd(cxlOffset(x.a), x.req.Record, x.respondFn, hint)
+		sys.ctrlFor(x.lpa).MemRd(cxlOffset(x.a), x.req.Record, x.respondFn, hint)
 	}
 	x.hostFwd = func() {
 		sys, req, a := x.s, x.req, x.a
@@ -167,7 +181,7 @@ func (s *System) getReadTxn() *readTxn {
 		if len(sys.tenantHints) > 0 {
 			sys.tenantHints[x.req.Tenant]++
 		}
-		sys.link.ToHost(cxl.HeaderBytes, x.hintArrive)
+		sys.sendToHost(x.lpa, cxl.HeaderBytes, x.hintArrive)
 	}
 	x.hintArrive = func() {
 		sys, onHint := x.s, x.req.OnHint
@@ -179,7 +193,7 @@ func (s *System) getReadTxn() *readTxn {
 	}
 	x.respondFn = func(meta core.ReadMeta) {
 		x.meta = meta
-		x.s.link.ToHost(cxl.DataBytes, x.dataArrive)
+		x.s.sendToHost(x.lpa, cxl.DataBytes, x.dataArrive)
 	}
 	x.dataArrive = func() {
 		sys, req := x.s, x.req
@@ -243,10 +257,10 @@ func (s *System) getWriteTxn() *writeTxn {
 			sys.hostWrite(a, tenant, record, accepted)
 			return
 		}
-		sys.ctrl.MemWr(cxlOffset(x.a), nil, x.record, x.tenant, x.wrDone)
+		sys.ctrlFor(x.lpa).MemWr(cxlOffset(x.a), nil, x.record, x.tenant, x.wrDone)
 	}
 	x.wrDone = func() {
-		sys, accepted := x.s, x.accepted
+		sys, accepted, lpa := x.s, x.accepted, x.lpa
 		if x.record {
 			sys.recordClass(x.tenant, stats.SSDWrite)
 		}
@@ -255,7 +269,7 @@ func (s *System) getWriteTxn() *writeTxn {
 		}
 		sys.putWriteTxn(x)
 		// Credit returns to the host over the response channel.
-		sys.link.ToHost(cxl.HeaderBytes, accepted)
+		sys.sendToHost(lpa, cxl.HeaderBytes, accepted)
 	}
 	return x
 }
@@ -332,17 +346,60 @@ type TenantInfo struct {
 
 type astriFetch struct{ writeAccepts []func() }
 
+// device is one SSD backend of the machine: its controller DRAM, flash
+// array, FTL, and controller (which owns the write log). Fleet runs
+// wire several; the port models the device's downstream CXL attachment
+// — zero extra propagation latency (the shared host link already
+// charges it) but finite serialization bandwidth, so a device with a
+// deep transfer backlog stalls independently of its peers. Single-device
+// runs leave port nil and move bytes on the host link alone, exactly
+// the pre-fleet machine.
+type device struct {
+	port    *cxl.Link
+	ssdDRAM *dram.DRAM
+	arr     *flash.Array
+	fl      *ftl.FTL
+	ctrl    *core.Controller
+}
+
 // New wires a system from cfg. The returned System is independent of
 // every other instance and safe to Run on its own goroutine.
+//
+// An invalid fleet configuration (Config.Devices/Placement) panics, the
+// same contract as WithVariant on an unknown variant: callers taking
+// external input validate first with fleet.Validate or fleet.ParsePolicy.
 func New(cfg Config) *System {
 	s := &System{cfg: cfg, promoted: make(map[uint64][]byte)}
 	s.link = cxl.New(&s.Eng, cfg.Link)
 	s.hostDRAM = dram.New(&s.Eng, cfg.HostDRAM)
-	s.ssdDRAM = dram.New(&s.Eng, cfg.SSDDRAM)
-	s.arr = flash.New(&s.Eng, cfg.Geometry, cfg.Timing)
-	s.fl = ftl.New(&s.Eng, s.arr, cfg.FTL)
-	s.fl.Precondition(cfg.PreconditionFill, cfg.PreconditionRewrit, cfg.Seed)
-	s.ctrl = core.New(&s.Eng, cfg.controllerConfig(), s.arr, s.fl, s.ssdDRAM)
+
+	nDev := cfg.Devices
+	if nDev < 1 {
+		nDev = 1
+	}
+	if nDev > 1 {
+		p, err := fleet.NewPlacer(cfg.fleetConfig())
+		if err != nil {
+			panic("system: " + err.Error())
+		}
+		s.placer = p
+	}
+	s.devs = make([]*device, nDev)
+	for i := range s.devs {
+		d := &device{}
+		d.ssdDRAM = dram.New(&s.Eng, cfg.SSDDRAM)
+		d.arr = flash.New(&s.Eng, cfg.Geometry, cfg.Timing)
+		d.fl = ftl.New(&s.Eng, d.arr, cfg.FTL)
+		// Each device preconditions under its own seed so fleet members
+		// start from distinct (but deterministic) flash states.
+		d.fl.Precondition(cfg.PreconditionFill, cfg.PreconditionRewrit, cfg.Seed+uint64(i))
+		d.ctrl = core.New(&s.Eng, cfg.controllerConfig(), d.arr, d.fl, d.ssdDRAM)
+		if nDev > 1 {
+			d.port = cxl.New(&s.Eng, cxl.Config{LatencyEachWay: 0, BytesPerNs: cfg.Link.BytesPerNs})
+		}
+		s.devs[i] = d
+	}
+	s.ssdDRAM, s.arr, s.fl, s.ctrl = s.devs[0].ssdDRAM, s.devs[0].arr, s.devs[0].fl, s.devs[0].ctrl
 
 	s.sched = osched.New(&s.Eng, osched.NewPolicy(cfg.Policy, cfg.PolicySeed), cfg.CtxSwitchCost)
 	s.llc = cachesim.New(cachesim.Config{Name: "llc", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays})
@@ -357,7 +414,9 @@ func New(cfg Config) *System {
 	switch cfg.Migration {
 	case MigrationAdaptive:
 		s.initPromotionPool()
-		s.ctrl.OnPromoteCandidate = s.promoteCandidate
+		for _, d := range s.devs {
+			d.ctrl.OnPromoteCandidate = s.promoteCandidate
+		}
 	case MigrationTPP:
 		s.initPromotionPool()
 		s.tpp = migrate.NewTPPSampler(cfg.TPPScanInterval, cfg.TPPThreshold)
@@ -387,14 +446,19 @@ func (s *System) initPromotionPool() {
 }
 
 // Controller exposes the SSD controller (traffic counters, compaction and
-// locality statistics).
+// locality statistics). In a fleet run this is device 0's controller;
+// per-device accounting flows through Result.Devices.
 func (s *System) Controller() *core.Controller { return s.ctrl }
 
-// FTL exposes the translation layer.
+// FTL exposes the translation layer (device 0's in a fleet run).
 func (s *System) FTL() *ftl.FTL { return s.fl }
 
-// Flash exposes the array.
+// Flash exposes the array (device 0's in a fleet run).
 func (s *System) Flash() *flash.Array { return s.arr }
+
+// Devices returns the number of wired SSD backends (1 unless the fleet
+// layer is on).
+func (s *System) Devices() int { return len(s.devs) }
 
 // Link exposes the CXL link.
 func (s *System) Link() *cxl.Link { return s.link }
@@ -537,6 +601,77 @@ func (s *System) Run() *Result {
 func cxlOffset(a mem.Addr) uint64 { return uint64(a - mem.CXLBase) }
 func cxlPage(a mem.Addr) uint64   { return cxlOffset(a) >> mem.PageShift }
 
+// --- fleet routing (DESIGN.md §9) ---
+
+// ctrlFor returns the controller owning lpa: devs[0] when the fleet
+// layer is off, the placer's pick otherwise.
+func (s *System) ctrlFor(lpa uint64) *core.Controller {
+	if s.placer == nil {
+		return s.ctrl
+	}
+	return s.devs[s.placer.Device(lpa)].ctrl
+}
+
+// sendToDevice moves size bytes host→device toward lpa's owner: across
+// the shared host link and then, in fleet mode, through the owning
+// device's downstream port. The single-device path is the bare link
+// call — it allocates nothing, preserving the zero-alloc hot-path
+// contract; the fleet path allocates one continuation per hop.
+func (s *System) sendToDevice(lpa uint64, size int, done func()) {
+	if s.placer == nil {
+		s.link.ToDevice(size, done)
+		return
+	}
+	port := s.devs[s.placer.Device(lpa)].port
+	s.link.ToDevice(size, func() { port.ToDevice(size, done) })
+}
+
+// sendToHost moves size bytes device→host from lpa's owner: through the
+// owning device's port, then the shared host link.
+func (s *System) sendToHost(lpa uint64, size int, done func()) {
+	if s.placer == nil {
+		s.link.ToHost(size, done)
+		return
+	}
+	port := s.devs[s.placer.Device(lpa)].port
+	port.ToHost(size, func() { s.link.ToHost(size, done) })
+}
+
+// noteFleetAccess books one demand access with the placement layer and,
+// when the hot/cold policy decides the page has earned the hot tier,
+// starts the inter-device transfer. Called only in fleet mode.
+func (s *System) noteFleetAccess(lpa uint64) {
+	if m, ok := s.placer.NoteAccess(lpa); ok {
+		s.fleetMigrate(m)
+	}
+}
+
+// fleetMigrate simulates one hot/cold tier promotion: the host pulls
+// the page from the cold device (a flash fetch if it isn't cached),
+// trims the cold device's mapping, and rewrites the page on the hot
+// device — every leg through the normal port and link paths, so
+// migrations compete with demand traffic for bandwidth. Ownership has
+// already flipped, so requests issued after the decision route to the
+// new owner; stale write-log lines on the source drain as dead
+// compaction traffic (a documented simplification — there is no
+// cross-device log forwarding).
+func (s *System) fleetMigrate(m fleet.Migration) {
+	src, dst := s.devs[m.From], s.devs[m.To]
+	const page = mem.LinesPerPage * cxl.DataBytes
+	src.ctrl.FetchPage(m.LPA, func() {
+		src.fl.Trim(m.LPA)
+		src.port.ToHost(page, func() {
+			s.link.ToHost(page, func() {
+				s.link.ToDevice(page, func() {
+					dst.port.ToDevice(page, func() {
+						dst.ctrl.WritePage(m.LPA, nil, nil)
+					})
+				})
+			})
+		})
+	})
+}
+
 // --- measurement recording ---
 
 // recordRead books one completed off-chip read into the system
@@ -587,9 +722,12 @@ func (s *System) Read(req *cpu.ReadReq) {
 		s.astriRead(req, a)
 		return
 	}
+	if s.placer != nil {
+		s.noteFleetAccess(lpa)
+	}
 	x := s.getReadTxn()
 	x.req, x.a, x.lpa, x.t0 = req, a, lpa, s.Eng.Now()
-	s.link.ToDevice(cxl.HeaderBytes, x.atDevice)
+	s.sendToDevice(lpa, cxl.HeaderBytes, x.atDevice)
 }
 
 // Write routes a cacheline writeback.
@@ -614,9 +752,12 @@ func (s *System) Write(a mem.Addr, coreID, tenant int, record bool, accepted fun
 		s.astriWrite(a, tenant, record, accepted)
 		return
 	}
+	if s.placer != nil {
+		s.noteFleetAccess(lpa)
+	}
 	x := s.getWriteTxn()
 	x.a, x.lpa, x.tenant, x.record, x.accepted = a, lpa, tenant, record, accepted
-	s.link.ToDevice(cxl.DataBytes, x.atDevice)
+	s.sendToDevice(lpa, cxl.DataBytes, x.atDevice)
 }
 
 func (s *System) hostRead(req *cpu.ReadReq, a mem.Addr) {
@@ -637,7 +778,7 @@ func (s *System) promoteCandidate(lpa uint64) {
 	if !s.plb.TryBegin(lpa) {
 		return
 	}
-	if !s.ctrl.MarkMigrating(lpa) {
+	if !s.ctrlFor(lpa).MarkMigrating(lpa) {
 		s.plb.Complete(lpa)
 		return
 	}
@@ -658,7 +799,7 @@ func (s *System) drainPromotions() {
 	// MSI-X interrupt to the host, then the OS allocates a physical page
 	// and the 64 cachelines copy over the CXL link.
 	s.Eng.After(s.cfg.MSIXCost, func() {
-		s.link.ToHost(mem.LinesPerPage*cxl.DataBytes, func() {
+		s.sendToHost(lpa, mem.LinesPerPage*cxl.DataBytes, func() {
 			s.completePromotion(lpa)
 			s.promoting = false
 			s.drainPromotions()
@@ -667,7 +808,7 @@ func (s *System) drainPromotions() {
 }
 
 func (s *System) completePromotion(lpa uint64) {
-	data, ok := s.ctrl.FinishMigration(lpa)
+	data, ok := s.ctrlFor(lpa).FinishMigration(lpa)
 	if !ok {
 		s.plb.Complete(lpa)
 		return
@@ -698,8 +839,8 @@ func (s *System) demoteColdest() {
 	s.pool.Remove(lpa)
 	delete(s.promoted, lpa)
 	s.migr.Demotions++
-	s.link.ToDevice(mem.LinesPerPage*cxl.DataBytes, func() {
-		s.ctrl.WritePage(lpa, data, nil)
+	s.sendToDevice(lpa, mem.LinesPerPage*cxl.DataBytes, func() {
+		s.ctrlFor(lpa).WritePage(lpa, data, nil)
 	})
 }
 
@@ -719,12 +860,13 @@ func (s *System) tppScan() {
 		lpa := lpa
 		// TPP promotes regardless of SSD DRAM residency, so a promotion
 		// may first pull the page from flash.
-		s.ctrl.FetchPage(lpa, func() {
-			if !s.ctrl.MarkMigrating(lpa) {
+		ctrl := s.ctrlFor(lpa)
+		ctrl.FetchPage(lpa, func() {
+			if !ctrl.MarkMigrating(lpa) {
 				s.plb.Complete(lpa)
 				return
 			}
-			s.link.ToHost(mem.LinesPerPage*cxl.DataBytes, func() {
+			s.sendToHost(lpa, mem.LinesPerPage*cxl.DataBytes, func() {
 				s.completePromotion(lpa)
 			})
 		})
@@ -772,19 +914,19 @@ func (s *System) astriMiss(page mem.Addr, tenant int, record bool) *astriFetch {
 	f := &astriFetch{}
 	s.astriIn[page] = f
 	lpa := cxlPage(page)
-	s.link.ToDevice(cxl.HeaderBytes, func() {
-		s.ctrl.FetchPage(lpa, func() {
+	s.sendToDevice(lpa, cxl.HeaderBytes, func() {
+		s.ctrlFor(lpa).FetchPage(lpa, func() {
 			if record {
 				s.recordClass(tenant, stats.SSDReadMiss)
 			}
-			s.link.ToHost(mem.LinesPerPage*cxl.DataBytes, func() {
+			s.sendToHost(lpa, mem.LinesPerPage*cxl.DataBytes, func() {
 				v := s.astri.Fill(page, false)
 				if v.Valid && v.Dirty {
 					// Dirty victim pages write back at page granularity —
 					// AstriFlash always accesses the SSD in pages.
 					vlpa := cxlPage(v.Addr)
-					s.link.ToDevice(mem.LinesPerPage*cxl.DataBytes, func() {
-						s.ctrl.WritePage(vlpa, nil, nil)
+					s.sendToDevice(vlpa, mem.LinesPerPage*cxl.DataBytes, func() {
+						s.ctrlFor(vlpa).WritePage(vlpa, nil, nil)
 					})
 				}
 				delete(s.astriIn, page)

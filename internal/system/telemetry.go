@@ -17,10 +17,18 @@ import (
 func (s *System) setupTelemetry() {
 	tel := s.tel
 
+	// Fleet runs average write-log occupancy across every device's log
+	// pair; a fleet of one reduces to the original single-device series,
+	// value for value.
 	if logs := s.ctrl.Logs(); logs[0] != nil {
-		l0, l1 := logs[0], logs[1]
+		devs := s.devs
 		tel.Register("writelog.occupancy", func() float64 {
-			return (l0.Occupancy() + l1.Occupancy()) / 2
+			var sum float64
+			for _, d := range devs {
+				l := d.ctrl.Logs()
+				sum += (l[0].Occupancy() + l[1].Occupancy()) / 2
+			}
+			return sum / float64(len(devs))
 		})
 	}
 	// Hit ratios are windowed: each sample differences the cumulative
@@ -55,8 +63,31 @@ func (s *System) setupTelemetry() {
 		return float64(s.link.RxBacklog(s.Eng.Now())) / float64(sim.Microsecond)
 	})
 	tel.Register("flash.queued_ops", func() float64 {
-		return float64(s.arr.QueuedOps())
+		var n int
+		for _, d := range s.devs {
+			n += d.arr.QueuedOps()
+		}
+		return float64(n)
 	})
+	// Per-device fleet probes: each backend's flash queue depth and
+	// downstream-port backlog, the series that show the link-vs-flash
+	// bottleneck crossover as K grows. Registered only when ports exist
+	// (Devices >= 2), so single-device snapshots keep their exact
+	// pre-fleet series set.
+	if s.placer != nil {
+		for i, d := range s.devs {
+			d := d
+			tel.Register(fmt.Sprintf("device.%d.flash_queued_ops", i), func() float64 {
+				return float64(d.arr.QueuedOps())
+			})
+			tel.Register(fmt.Sprintf("device.%d.port_tx_backlog_us", i), func() float64 {
+				return float64(d.port.TxBacklog(s.Eng.Now())) / float64(sim.Microsecond)
+			})
+			tel.Register(fmt.Sprintf("device.%d.port_rx_backlog_us", i), func() float64 {
+				return float64(d.port.RxBacklog(s.Eng.Now())) / float64(sim.Microsecond)
+			})
+		}
+	}
 	tel.Register("sched.runnable", func() float64 {
 		return float64(s.sched.Runnable())
 	})

@@ -39,6 +39,7 @@ import (
 
 	"skybyte/internal/arrival"
 	"skybyte/internal/experiments"
+	"skybyte/internal/fleet"
 	"skybyte/internal/stats"
 	"skybyte/internal/store"
 	"skybyte/internal/system"
@@ -81,6 +82,22 @@ type Result = system.Result
 // System is a fully wired simulated machine for callers that want to drive
 // runs manually (custom streams, incremental stepping).
 type System = system.System
+
+// DeviceResult is one device's share of a fleet run's accounting; it
+// rides in Result.Devices when Config.Devices >= 1 and its summable
+// counters add up exactly to the fleet totals (DESIGN.md §9).
+type DeviceResult = system.DeviceResult
+
+// MaxFleetDevices is the largest supported Config.Devices.
+const MaxFleetDevices = fleet.MaxDevices
+
+// FleetPolicyNames lists the valid Config.Placement policies (the
+// -placement flag's accept set): striped, capacity, hotcold.
+func FleetPolicyNames() []string { return fleet.PolicyNames() }
+
+// ValidateFleet checks a device-count/placement pair before a run the
+// way the CLIs do: an unknown value errors listing the valid set.
+func ValidateFleet(devices int, placement string) error { return fleet.Validate(devices, placement) }
 
 // Workload describes one Table I benchmark and generates its instruction
 // streams.
